@@ -1,0 +1,100 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* GroupTC chunk size (the paper's edge-chunk granularity);
+* TriCore shared-memory tree caching (Section III-D's optimisation);
+* H-INDEX per-warp edge batching;
+* orientation pre-processing (Section II-B) — degree vs id ranking.
+"""
+
+import pytest
+
+from repro.framework import best_config, run_one, sweep_config
+
+
+class TestGroupTCChunk:
+    def test_chunk_sweep(self, benchmark, bench_blocks):
+        points = benchmark.pedantic(
+            lambda: sweep_config(
+                "GroupTC",
+                "Com-Dblp",
+                {"chunk": [64, 128, 256, 512]},
+                max_blocks_simulated=bench_blocks,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        best = best_config(points)
+        print("\nGroupTC chunk sweep (Com-Dblp):")
+        for p in points:
+            marker = " <= best" if p is best else ""
+            print(f"  chunk={p.config['chunk']:4d}  t={p.sim_time_s * 1e6:9.2f}us{marker}")
+        assert len({p.triangles for p in points}) == 1  # counts invariant
+
+    def test_default_chunk_competitive(self, bench_blocks, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        points = sweep_config(
+            "GroupTC", "As-Caida", {"chunk": [64, 256]}, max_blocks_simulated=bench_blocks
+        )
+        by_chunk = {p.config["chunk"]: p.sim_time_s for p in points}
+        assert by_chunk[256] <= 2.5 * by_chunk[64]
+
+
+class TestTriCoreTreeCache:
+    def test_shared_tree_ablation(self, benchmark, bench_blocks):
+        points = benchmark.pedantic(
+            lambda: sweep_config(
+                "TriCore",
+                "Com-Orkut",
+                {"cache_nodes": [0, 1023]},
+                max_blocks_simulated=bench_blocks,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        off, on = points
+        print(
+            f"\nTriCore tree cache (Com-Orkut): off={off.sim_time_s * 1e6:.1f}us "
+            f"on={on.sim_time_s * 1e6:.1f}us"
+        )
+        assert off.triangles == on.triangles
+        # Caching the tree top moves probe traffic on-chip: fewer global
+        # load requests with the cache enabled.
+        assert on.global_load_requests < off.global_load_requests
+
+
+class TestHIndexBatching:
+    @pytest.mark.parametrize("epw", [2, 8, 32])
+    def test_edges_per_warp(self, epw, bench_blocks, benchmark):
+        points = benchmark.pedantic(
+            lambda: sweep_config(
+                "H-INDEX",
+                "As-Caida",
+                {"edges_per_warp": [epw]},
+                max_blocks_simulated=bench_blocks,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert points[0].triangles == run_one("Polak", "As-Caida").triangles
+
+
+class TestOrientationStudy:
+    def test_degree_vs_id(self, benchmark, bench_blocks):
+        def run():
+            return {
+                ordering: run_one(
+                    "Polak", "Wiki-Talk", ordering=ordering, max_blocks_simulated=bench_blocks
+                )
+                for ordering in ("degree", "id")
+            }
+
+        recs = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(
+            f"\nPolak on Wiki-Talk: degree-ordered t={recs['degree'].sim_time_s * 1e6:.1f}us, "
+            f"id-ordered t={recs['id'].sim_time_s * 1e6:.1f}us"
+        )
+        assert recs["degree"].triangles == recs["id"].triangles
+        # Degree ranking bounds hub out-degrees, cutting Polak's merge work.
+        assert (
+            recs["degree"].global_load_requests < recs["id"].global_load_requests
+        )

@@ -1,0 +1,62 @@
+"""Figure 13 — (a) warp execution efficiency and (b) gld transactions per
+request for every implementation and dataset.
+
+These are the paper's factors (2) workload imbalance and (3) memory access
+pattern.
+"""
+
+from repro.analysis import regime_mean
+from repro.framework import render_figure_series
+from repro.graph import load_oriented
+from repro.algorithms import get_algorithm
+
+
+def test_figure13a_series(matrix, benchmark):
+    text = benchmark.pedantic(
+        lambda: render_figure_series(matrix, "warp_execution_efficiency"),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFIGURE 13(a) — " + text)
+    for rec in matrix.records:
+        if rec.ok:
+            assert 0.0 < rec.warp_execution_efficiency <= 1.0
+
+
+def test_figure13b_series(matrix, benchmark):
+    text = benchmark.pedantic(
+        lambda: render_figure_series(matrix, "gld_transactions_per_request"),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFIGURE 13(b) — " + text)
+    for rec in matrix.records:
+        if rec.ok:
+            assert 0.0 <= rec.gld_transactions_per_request <= 32.0
+
+
+def test_fine_grained_efficiency_advantage(matrix, benchmark):
+    """Fine-grained work distribution outruns Polak's coarse threads on
+    the large (imbalanced) datasets — the Section V motivation."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    eff = regime_mean(matrix, "warp_execution_efficiency", regime="large")
+    assert eff["GroupTC"] > eff["Polak"]
+
+
+def test_polak_poor_coalescing(matrix, benchmark):
+    """Polak's per-thread merges touch more sectors per request than the
+    strided fine-grained loads of TRUST (Section IV-A factor 3)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    tpr = regime_mean(matrix, "gld_transactions_per_request", regime="large")
+    assert tpr["Polak"] > tpr["TRUST"] * 0.8  # Polak is never better
+
+
+def test_profiling_overhead(benchmark, bench_blocks):
+    """Wall cost of collecting the nvprof-style counters for one cell."""
+    csr = load_oriented("Soc-Slashdot0922")
+    rec = benchmark.pedantic(
+        lambda: get_algorithm("Polak").profile(csr, max_blocks_simulated=bench_blocks),
+        rounds=1,
+        iterations=1,
+    )
+    assert rec.metrics.warp_steps > 0

@@ -1,0 +1,37 @@
+"""Table I — major ITC algorithms on GPUs (taxonomy regeneration)."""
+
+from repro.algorithms import all_algorithms
+from repro.framework import render_table1
+
+#: the paper's Table I, row for row (name, year, iterator, intersection)
+PAPER_TABLE1 = {
+    "Green": (2014, "edge", "merge", "fine"),
+    "Polak": (2016, "edge", "merge", "coarse"),
+    "Bisson": (2017, "vertex", "bitmap", "coarse"),
+    "TriCore": (2018, "edge", "binary-search", "fine"),
+    "Fox": (2018, "edge", "binary-search", "fine"),
+    "Hu": (2019, "vertex", "binary-search", "fine"),
+    "H-INDEX": (2019, "edge", "hash", "fine"),
+    "TRUST": (2021, "vertex", "hash", "fine"),
+}
+
+
+def test_table1_regenerates(benchmark):
+    text = benchmark.pedantic(render_table1, rounds=3, iterations=1)
+    print("\n" + text)
+    for name in PAPER_TABLE1:
+        assert name in text
+
+
+def test_table1_matches_paper(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = {cls.name: cls.table1_row() for cls in all_algorithms()}
+    for name, (year, iterator, intersection, granularity) in PAPER_TABLE1.items():
+        row = rows[name]
+        assert row["year"] == year
+        assert row["iterator"] == iterator
+        assert row["intersection"] == intersection
+        assert row["granularity"] == granularity
+    # plus the paper's own contribution
+    assert rows["GroupTC"]["iterator"] == "edge"
+    assert rows["GroupTC"]["intersection"] == "binary-search"

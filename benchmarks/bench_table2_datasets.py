@@ -1,0 +1,28 @@
+"""Table II — the 19 datasets, regenerated at replica scale."""
+
+import pytest
+
+from repro.framework import render_table2
+from repro.graph.datasets import DATASETS, get_spec, load_edges
+from repro.graph.stats import summarize_edges
+
+
+def test_table2_regenerates(benchmark):
+    text = benchmark.pedantic(lambda: render_table2(replica=True), rounds=1, iterations=1)
+    print("\n" + text)
+    assert text.count("\n") >= 20
+
+
+def test_replica_generation_speed(benchmark):
+    """Wall time to synthesise one mid-sized replica from scratch."""
+    spec = get_spec("Wiki-Talk")
+    edges = benchmark.pedantic(spec.build, rounds=1, iterations=1)
+    assert edges.shape[0] > 0.5 * spec.replica_edges
+
+
+@pytest.mark.parametrize("name", [s.name for s in DATASETS])
+def test_replica_degree_fidelity(name, benchmark):
+    """Replica average degree tracks Table II's column."""
+    spec = get_spec(name)
+    s = benchmark.pedantic(lambda: summarize_edges(load_edges(name)), rounds=1, iterations=1)
+    assert s.avg_degree == pytest.approx(spec.paper_avg_degree, rel=0.5)

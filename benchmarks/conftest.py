@@ -1,0 +1,38 @@
+"""Shared state for the benchmark harness.
+
+The paper's figures all pivot one comparison matrix (9 algorithms x 19
+datasets); the session-scoped :func:`matrix` fixture computes it once.
+Sampling depth is tunable via ``REPRO_BENCH_BLOCKS`` (default 12); set
+``REPRO_BENCH_DATASETS`` to a comma-separated subset for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.framework import run_matrix
+from repro.graph.datasets import dataset_names
+
+
+def _datasets() -> tuple[str, ...]:
+    env = os.environ.get("REPRO_BENCH_DATASETS")
+    if env:
+        return tuple(s.strip() for s in env.split(",") if s.strip())
+    return tuple(dataset_names())
+
+
+def _blocks() -> int:
+    return int(os.environ.get("REPRO_BENCH_BLOCKS", "12"))
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    """The full Figures 11/12/13 comparison matrix (computed once)."""
+    return run_matrix(datasets=_datasets(), max_blocks_simulated=_blocks())
+
+
+@pytest.fixture(scope="session")
+def bench_blocks():
+    return _blocks()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Clustering coefficients — one of Section I's motivating applications.
+
+Computes global and local clustering for a social-network-style replica
+using the library's triangle machinery, and contrasts it with a road
+network (almost triangle-free) and a clique.
+
+Run:  python examples/clustering_coefficient.py
+"""
+
+import numpy as np
+
+from repro.apps import average_clustering, global_clustering, local_clustering
+from repro.graph.datasets import load_edges
+from repro.graph.generators import complete_graph, road_lattice
+
+
+def describe(name: str, edges) -> None:
+    local = local_clustering(edges)
+    print(f"{name:20s} transitivity={global_clustering(edges):.4f} "
+          f"avg-local={average_clustering(edges):.4f} "
+          f"max-local={local.max() if local.shape[0] else 0:.3f}")
+
+
+def main() -> None:
+    print("clustering structure across graph families:\n")
+    describe("K20 (clique)", complete_graph(20))
+    describe("road lattice", road_lattice(40, shortcut_fraction=0.05, seed=0))
+    describe("As-Caida replica", load_edges("As-Caida"))
+    describe("Com-Dblp replica", load_edges("Com-Dblp"))
+    describe("Wiki-Talk replica", load_edges("Wiki-Talk"))
+
+    # Who are the most clustered vertices of the co-authorship replica?
+    edges = load_edges("Com-Dblp")
+    local = local_clustering(edges)
+    deg = np.bincount(edges.ravel())
+    eligible = np.where(deg >= 5)[0]
+    top = eligible[np.argsort(local[eligible])[::-1][:5]]
+    print("\nmost clustered Com-Dblp vertices (degree >= 5):")
+    for v in top:
+        print(f"  vertex {v:6d}: C={local[v]:.3f}, degree={deg[v]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Reproduce a slice of the paper's Figure 11: all nine implementations on
+a handful of Table II dataset replicas, with the nvprof-style metrics.
+
+Run:  python examples/compare_algorithms.py [dataset ...]
+      (defaults to As-Caida, Com-Dblp and Wiki-Talk; any Table II name works)
+"""
+
+import sys
+
+from repro.framework import render_figure_series, render_table2, run_matrix
+
+
+def main(datasets: list[str]) -> None:
+    print(render_table2(replica=True))
+    print(f"running the comparison matrix on: {', '.join(datasets)}\n")
+    matrix = run_matrix(datasets=datasets, max_blocks_simulated=8, progress=True)
+
+    print()
+    print(render_figure_series(matrix, "sim_time_s"))
+    print(render_figure_series(matrix, "global_load_requests"))
+    print(render_figure_series(matrix, "warp_execution_efficiency"))
+
+    winners = matrix.winners()
+    print("per-dataset winners (simulated kernel time):")
+    for ds, alg in winners.items():
+        print(f"  {ds:18s} -> {alg}")
+    for rec in matrix.failures():
+        print(f"  FAILED: {rec.algorithm} on {rec.dataset} ({rec.error})")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or ["As-Caida", "Com-Dblp", "Wiki-Talk"])

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which require ``bdist_wheel``) fail.  Keeping a
+``setup.py`` and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` use the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "A Comparative Study of Intersection-Based
+Triangle Counting Algorithms on GPUs" (Li et al., IPDPS-W 2024).
+
+The package implements the paper's full system stack in Python:
+
+* :mod:`repro.graph` — graph toolkit and the 19 Table II dataset replicas;
+* :mod:`repro.gpu` — a warp-lockstep SIMT simulator with nvprof-style
+  counters standing in for the Tesla V100 / RTX 4090 testbed;
+* :mod:`repro.intersect` — the four intersection methods of Table I;
+* :mod:`repro.algorithms` — the eight published ITC kernels plus the
+  paper's GroupTC;
+* :mod:`repro.framework` — the unified testing framework (Section IV);
+* :mod:`repro.analysis` — speedup and profiling analyses (Sections IV-A, V);
+* :mod:`repro.apps` — motivating applications (clustering, k-truss).
+
+Quickstart::
+
+    from repro import count_triangles, get_algorithm
+    from repro.graph import oriented_csr
+    from repro.graph.generators import chung_lu
+
+    csr = oriented_csr(chung_lu(1000, 5000))
+    print(count_triangles(csr))                 # exact count
+    print(get_algorithm("GroupTC").profile(csr).sim_time_s)
+"""
+
+from .algorithms import algorithm_names, all_algorithms, get_algorithm
+from .algorithms.cpu_reference import count_triangles_oriented as count_triangles
+from .framework import run_matrix, run_one
+from .gpu import RTX_4090, SIM_V100, TESLA_V100
+from .graph import CSRGraph, dataset_names, load_oriented, oriented_csr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "RTX_4090",
+    "SIM_V100",
+    "TESLA_V100",
+    "__version__",
+    "algorithm_names",
+    "all_algorithms",
+    "count_triangles",
+    "dataset_names",
+    "get_algorithm",
+    "load_oriented",
+    "oriented_csr",
+    "run_matrix",
+    "run_one",
+]

@@ -1,0 +1,22 @@
+"""Analysis of comparison results: speedups (Fig. 15) and profiling (Sec. IV-A)."""
+
+from .profiling import (
+    efficiency_leaders,
+    rank_algorithms,
+    regime_mean,
+    request_champion,
+    time_work_correlation,
+)
+from .speedup import SpeedupSummary, speedup_series, summarize_speedups, win_count
+
+__all__ = [
+    "SpeedupSummary",
+    "efficiency_leaders",
+    "rank_algorithms",
+    "regime_mean",
+    "request_champion",
+    "speedup_series",
+    "summarize_speedups",
+    "time_work_correlation",
+    "win_count",
+]

@@ -1,0 +1,114 @@
+"""Profiling analysis: the Section IV-A behavioural reading of the metrics.
+
+The paper explains each implementation's Figure 11 placement through three
+factors — total work (global load requests), workload imbalance (warp
+execution efficiency) and memory access pattern (transactions per request).
+These helpers quantify that reading for a comparison matrix: per-regime
+metric aggregation, ranking, and a correlation check that simulated time
+indeed tracks the three factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..framework.compare import ComparisonMatrix
+
+__all__ = [
+    "regime_mean",
+    "rank_algorithms",
+    "request_champion",
+    "efficiency_leaders",
+    "time_work_correlation",
+]
+
+
+def _values(matrix: ComparisonMatrix, algorithm: str, metric: str, regime: str | None):
+    out = []
+    for ds in matrix.datasets:
+        rec = matrix.cell(algorithm, ds)
+        if not rec.ok:
+            continue
+        if regime and rec.size_class != regime:
+            continue
+        val = getattr(rec, metric)
+        if val is not None:
+            out.append(val)
+    return out
+
+
+def regime_mean(
+    matrix: ComparisonMatrix,
+    metric: str,
+    *,
+    regime: str | None = None,
+    geometric: bool = True,
+) -> dict[str, float]:
+    """Mean of one metric per algorithm, optionally within one size regime.
+
+    Geometric means by default — dataset sizes span orders of magnitude, so
+    arithmetic means would be dominated by the largest replicas.
+    """
+    out: dict[str, float] = {}
+    for alg in matrix.algorithms:
+        vals = _values(matrix, alg, metric, regime)
+        if not vals:
+            continue
+        if geometric:
+            if any(v <= 0 for v in vals):
+                geometric_ok = False
+            else:
+                geometric_ok = True
+            if geometric_ok:
+                out[alg] = math.exp(sum(math.log(v) for v in vals) / len(vals))
+                continue
+        out[alg] = sum(vals) / len(vals)
+    return out
+
+
+def rank_algorithms(
+    matrix: ComparisonMatrix,
+    metric: str = "sim_time_s",
+    *,
+    regime: str | None = None,
+    ascending: bool = True,
+) -> list[str]:
+    """Algorithms ordered by their regime mean of ``metric``."""
+    means = regime_mean(matrix, metric, regime=regime)
+    return sorted(means, key=means.get, reverse=not ascending)
+
+
+def request_champion(matrix: ComparisonMatrix, *, regime: str | None = "small") -> str:
+    """Algorithm with the fewest global load requests (the paper: Polak)."""
+    return rank_algorithms(matrix, "global_load_requests", regime=regime)[0]
+
+
+def efficiency_leaders(matrix: ComparisonMatrix, top: int = 3) -> list[str]:
+    """Highest mean warp execution efficiency (the paper: TRUST, H-INDEX)."""
+    return rank_algorithms(matrix, "warp_execution_efficiency", ascending=False)[:top]
+
+
+def time_work_correlation(matrix: ComparisonMatrix, algorithm: str) -> float:
+    """Pearson correlation between log time and log load requests.
+
+    Triangle counting being memory-bound, an algorithm's time across
+    datasets should track its request counts closely; the claim tests
+    assert this stays strongly positive.
+    """
+    xs, ys = [], []
+    for ds in matrix.datasets:
+        rec = matrix.cell(algorithm, ds)
+        if rec.ok and rec.sim_time_s and rec.global_load_requests:
+            xs.append(math.log(rec.global_load_requests))
+            ys.append(math.log(rec.sim_time_s))
+    if len(xs) < 3:
+        return float("nan")
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    vy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    if vx == 0 or vy == 0:
+        return float("nan")
+    return cov / (vx * vy)

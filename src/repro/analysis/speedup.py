@@ -1,0 +1,75 @@
+"""Speedup computations: the quantitative claims of Sections I and V.
+
+The paper summarises GroupTC's evaluation as speedup bands against Polak
+(1.03-3.83x, losing only on the two smallest datasets) and TRUST
+(1.09-2.92x on small/medium, 0.94-1.01x on large).  These helpers compute
+the same quantities from a :class:`~repro.framework.compare.ComparisonMatrix`
+so the Figure 15 bench and the claim tests share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..framework.compare import ComparisonMatrix
+
+__all__ = ["SpeedupSummary", "speedup_series", "summarize_speedups", "win_count"]
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Speedup band of one subject/baseline pair."""
+
+    subject: str
+    baseline: str
+    per_dataset: dict[str, float]
+    min_speedup: float
+    max_speedup: float
+    wins: int
+    comparable: int
+
+    def band(self) -> tuple[float, float]:
+        return self.min_speedup, self.max_speedup
+
+
+def speedup_series(
+    matrix: ComparisonMatrix, subject: str, baseline: str
+) -> dict[str, float]:
+    """Per-dataset speedup ``baseline_time / subject_time``.
+
+    Datasets where either run failed are omitted (no meaningful ratio).
+    """
+    out: dict[str, float] = {}
+    for ds in matrix.datasets:
+        s = matrix.cell(subject, ds)
+        b = matrix.cell(baseline, ds)
+        if s.ok and b.ok and s.sim_time_s:
+            out[ds] = b.sim_time_s / s.sim_time_s
+    return out
+
+
+def summarize_speedups(
+    matrix: ComparisonMatrix, subject: str, baseline: str
+) -> SpeedupSummary:
+    """Speedup band summary (the min-max bands the paper quotes)."""
+    series = speedup_series(matrix, subject, baseline)
+    if not series:
+        raise ValueError(f"no comparable datasets for {subject} vs {baseline}")
+    values = list(series.values())
+    return SpeedupSummary(
+        subject=subject,
+        baseline=baseline,
+        per_dataset=series,
+        min_speedup=min(values),
+        max_speedup=max(values),
+        wins=sum(1 for v in values if v > 1.0),
+        comparable=len(values),
+    )
+
+
+def win_count(matrix: ComparisonMatrix, metric: str = "sim_time_s") -> dict[str, int]:
+    """How many datasets each algorithm wins (lowest metric)."""
+    counts: dict[str, int] = {alg: 0 for alg in matrix.algorithms}
+    for winner in matrix.winners(metric).values():
+        counts[winner] += 1
+    return counts

@@ -1,0 +1,20 @@
+"""Motivating applications from Section I: clustering coefficients, k-truss."""
+
+from .clustering import (
+    average_clustering,
+    global_clustering,
+    local_clustering,
+    triangles_per_vertex,
+)
+from .ktruss import edge_support, ktruss, max_truss, truss_numbers
+
+__all__ = [
+    "average_clustering",
+    "edge_support",
+    "global_clustering",
+    "ktruss",
+    "local_clustering",
+    "max_truss",
+    "triangles_per_vertex",
+    "truss_numbers",
+]

@@ -1,0 +1,36 @@
+"""The unified testing framework of Section IV.
+
+* :mod:`~repro.framework.runner` — one (algorithm, dataset, device) cell,
+  including paper-scale capacity checks (red-cross failures).
+* :mod:`~repro.framework.compare` — the full comparison matrix.
+* :mod:`~repro.framework.report` — Tables I/II and the figure series.
+* :mod:`~repro.framework.sweep` — configuration sweeps / ablations.
+"""
+
+from .compare import ComparisonMatrix, run_matrix
+from .report import (
+    matrix_to_csv,
+    render_figure_series,
+    render_speedups,
+    render_table1,
+    render_table2,
+)
+from .runner import DEFAULT_MAX_BLOCKS, RunRecord, paper_scale_footprint, run_one
+from .sweep import SweepPoint, best_config, sweep_config
+
+__all__ = [
+    "DEFAULT_MAX_BLOCKS",
+    "ComparisonMatrix",
+    "RunRecord",
+    "SweepPoint",
+    "best_config",
+    "matrix_to_csv",
+    "paper_scale_footprint",
+    "render_figure_series",
+    "render_speedups",
+    "render_table1",
+    "render_table2",
+    "run_matrix",
+    "run_one",
+    "sweep_config",
+]

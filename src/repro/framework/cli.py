@@ -1,0 +1,184 @@
+"""Command-line front end for the unified testing framework.
+
+Mirrors how the paper's framework is driven from a shell::
+
+    python -m repro.framework.cli table1
+    python -m repro.framework.cli table2
+    python -m repro.framework.cli count As-Caida --algorithm GroupTC
+    python -m repro.framework.cli figure sim_time_s --datasets As-Caida,Com-Dblp
+    python -m repro.framework.cli speedup GroupTC --baselines Polak,TRUST
+    python -m repro.framework.cli sweep GroupTC As-Caida chunk 64,128,256
+
+All subcommands print to stdout; ``figure``/``speedup`` accept ``--csv``
+to dump the raw matrix instead of the formatted series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..algorithms.base import algorithm_names, get_algorithm
+from ..gpu.device import get_device
+from ..graph.datasets import dataset_names, load_oriented
+from .compare import run_matrix
+from .report import (
+    matrix_to_csv,
+    render_figure_series,
+    render_speedups,
+    render_table1,
+    render_table2,
+)
+from .runner import DEFAULT_MAX_BLOCKS, run_one
+from .sweep import best_config, sweep_config
+
+__all__ = ["main", "build_parser"]
+
+FIGURE_METRICS = (
+    "sim_time_s",
+    "global_load_requests",
+    "warp_execution_efficiency",
+    "gld_transactions_per_request",
+)
+
+
+def _split(value: str | None) -> list[str] | None:
+    if not value:
+        return None
+    return [s.strip() for s in value.split(",") if s.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument grammar (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the IPDPS-W'24 triangle-counting study.",
+    )
+    p.add_argument(
+        "--device",
+        default="sim-v100",
+        help="device preset (v100, rtx4090, sim-v100, sim-rtx4090)",
+    )
+    p.add_argument(
+        "--blocks",
+        type=int,
+        default=DEFAULT_MAX_BLOCKS,
+        help="block-sampling budget per kernel launch",
+    )
+    p.add_argument(
+        "--ordering",
+        default="degree",
+        choices=("degree", "id"),
+        help="orientation pre-processing (Section II-B)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="regenerate Table I (algorithm taxonomy)")
+    sub.add_parser("table2", help="regenerate Table II (datasets)")
+
+    c = sub.add_parser("count", help="count triangles in one dataset replica")
+    c.add_argument("dataset", help="Table II dataset name")
+    c.add_argument("--algorithm", default="GroupTC", help="which implementation")
+
+    f = sub.add_parser("figure", help="one figure's series over the matrix")
+    f.add_argument("metric", choices=FIGURE_METRICS)
+    f.add_argument("--datasets", help="comma-separated subset (default: all 19)")
+    f.add_argument("--algorithms", help="comma-separated subset (default: all 9)")
+    f.add_argument("--csv", action="store_true", help="emit the raw matrix as CSV")
+
+    s = sub.add_parser("speedup", help="Figure 15 style speedup table")
+    s.add_argument("subject", help="algorithm whose speedup is reported")
+    s.add_argument("--baselines", default="Polak,TRUST")
+    s.add_argument("--datasets", help="comma-separated subset")
+
+    w = sub.add_parser("sweep", help="configuration sweep for one algorithm")
+    w.add_argument("algorithm")
+    w.add_argument("dataset")
+    w.add_argument("key", help="config key, e.g. chunk / edges_per_warp")
+    w.add_argument("values", help="comma-separated integer values")
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    device = get_device(args.device)
+
+    if args.command == "table1":
+        print(render_table1())
+        return 0
+
+    if args.command == "table2":
+        print(render_table2())
+        return 0
+
+    if args.command == "count":
+        rec = run_one(
+            args.algorithm,
+            args.dataset,
+            device=device,
+            ordering=args.ordering,
+            max_blocks_simulated=args.blocks,
+        )
+        if not rec.ok:
+            print(f"FAILED: {rec.error}")
+            return 1
+        print(f"dataset    : {rec.dataset} ({rec.size_class})")
+        print(f"algorithm  : {rec.algorithm}")
+        print(f"triangles  : {rec.triangles}")
+        print(f"sim time   : {rec.sim_time_s * 1e3:.4f} ms on {rec.device}")
+        print(f"warp eff   : {rec.warp_execution_efficiency:.2f}")
+        print(f"gld t/r    : {rec.gld_transactions_per_request:.2f}")
+        print(f"requests   : {rec.global_load_requests:.0f}")
+        return 0
+
+    if args.command == "figure":
+        matrix = run_matrix(
+            _split(args.algorithms),
+            _split(args.datasets),
+            device=device,
+            ordering=args.ordering,
+            max_blocks_simulated=args.blocks,
+        )
+        print(matrix_to_csv(matrix) if args.csv else render_figure_series(matrix, args.metric))
+        return 0
+
+    if args.command == "speedup":
+        baselines = tuple(_split(args.baselines) or ())
+        algorithms = tuple(dict.fromkeys((args.subject, *baselines)))
+        matrix = run_matrix(
+            algorithms,
+            _split(args.datasets),
+            device=device,
+            ordering=args.ordering,
+            max_blocks_simulated=args.blocks,
+        )
+        print(render_speedups(matrix, args.subject, baselines))
+        return 0
+
+    if args.command == "sweep":
+        values = [int(v) for v in _split(args.values) or ()]
+        points = sweep_config(
+            args.algorithm,
+            args.dataset,
+            {args.key: values},
+            device=device,
+            ordering=args.ordering,
+            max_blocks_simulated=args.blocks,
+        )
+        best = best_config(points)
+        print(f"sweep of {args.algorithm}.{args.key} on {args.dataset}:")
+        for pt in points:
+            marker = "  <= best" if pt is best else ""
+            print(
+                f"  {args.key}={pt.config[args.key]:<8} "
+                f"t={pt.sim_time_s * 1e6:10.2f} us  "
+                f"eff={pt.warp_execution_efficiency:.2f}{marker}"
+            )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

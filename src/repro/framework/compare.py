@@ -1,0 +1,107 @@
+"""Full comparison matrix: algorithms x datasets (the paper's Figures 11-13).
+
+:func:`run_matrix` executes every cell through :func:`~repro.framework.
+runner.run_one` and returns the records in a :class:`ComparisonMatrix` that
+the report module and the benchmark harness pivot into the paper's tables
+and figure series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..algorithms.base import algorithm_names
+from ..gpu.costmodel import CostModel
+from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
+from ..graph.datasets import dataset_names
+from .runner import DEFAULT_MAX_BLOCKS, RunRecord, run_one
+
+__all__ = ["ComparisonMatrix", "run_matrix"]
+
+
+@dataclass(frozen=True)
+class ComparisonMatrix:
+    """All records of one comparison run, with pivot helpers."""
+
+    records: tuple[RunRecord, ...]
+    algorithms: tuple[str, ...]
+    datasets: tuple[str, ...]
+
+    def cell(self, algorithm: str, dataset: str) -> RunRecord:
+        for r in self.records:
+            if r.algorithm == algorithm and r.dataset == dataset:
+                return r
+        raise KeyError(f"no record for ({algorithm}, {dataset})")
+
+    def series(self, metric: str) -> dict[str, list[float | None]]:
+        """Pivot one metric into {algorithm: [value per dataset in order]}.
+
+        Failed cells yield ``None`` — the red crosses of the figures.
+        """
+        out: dict[str, list[float | None]] = {}
+        for alg in self.algorithms:
+            row: list[float | None] = []
+            for ds in self.datasets:
+                rec = self.cell(alg, ds)
+                row.append(getattr(rec, metric) if rec.ok else None)
+            out[alg] = row
+        return out
+
+    def winners(self, metric: str = "sim_time_s") -> dict[str, str]:
+        """Per-dataset winner (lowest metric among successful runs)."""
+        out: dict[str, str] = {}
+        for ds in self.datasets:
+            best = None
+            for alg in self.algorithms:
+                rec = self.cell(alg, ds)
+                if not rec.ok:
+                    continue
+                val = getattr(rec, metric)
+                if val is not None and (best is None or val < best[1]):
+                    best = (alg, val)
+            if best:
+                out[ds] = best[0]
+        return out
+
+    def failures(self) -> list[RunRecord]:
+        """The red-cross cells."""
+        return [r for r in self.records if not r.ok]
+
+
+def run_matrix(
+    algorithms: Sequence[str] | None = None,
+    datasets: Sequence[str] | None = None,
+    *,
+    device: DeviceSpec = SIM_V100,
+    capacity_device: DeviceSpec = TESLA_V100,
+    ordering: str = "degree",
+    max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
+    cost_model: CostModel | None = None,
+    progress: bool = False,
+) -> ComparisonMatrix:
+    """Run the (algorithms x datasets) comparison.
+
+    Defaults reproduce the paper's configuration: all nine implementations
+    over all nineteen Table II replicas on the scaled V100, with paper-scale
+    capacity checks against the real V100.
+    """
+    algs = tuple(algorithms) if algorithms else tuple(algorithm_names())
+    dsets = tuple(datasets) if datasets else tuple(dataset_names())
+    records: list[RunRecord] = []
+    for ds in dsets:
+        for alg in algs:
+            rec = run_one(
+                alg,
+                ds,
+                device=device,
+                capacity_device=capacity_device,
+                ordering=ordering,
+                max_blocks_simulated=max_blocks_simulated,
+                cost_model=cost_model,
+            )
+            records.append(rec)
+            if progress:  # pragma: no cover - console side effect
+                status = f"{rec.sim_time_s * 1e3:9.3f} ms" if rec.ok else "   FAILED"
+                print(f"  {ds:18s} {alg:8s} {status}", flush=True)
+    return ComparisonMatrix(records=tuple(records), algorithms=algs, datasets=dsets)

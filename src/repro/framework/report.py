@@ -1,0 +1,129 @@
+"""Rendering: the paper's tables and figure series as text/CSV.
+
+Each ``render_*`` function regenerates one artefact of the paper:
+
+* :func:`render_table1` — the ITC algorithm taxonomy (Table I);
+* :func:`render_table2` — dataset statistics (Table II, replica scale);
+* :func:`render_figure_series` — one metric across the matrix (Figures
+  11, 12, 13a, 13b) with failed cells marked ``x`` like the red crosses;
+* :func:`render_speedups` — the Figure 15 comparison summary.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..algorithms.base import all_algorithms
+from ..graph.datasets import DATASETS, load_edges
+from ..graph.stats import summarize_edges
+from .compare import ComparisonMatrix
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_figure_series",
+    "render_speedups",
+    "matrix_to_csv",
+]
+
+_METRIC_FORMATS = {
+    "sim_time_s": ("total running time [ms]", 1e3, "{:10.4f}"),
+    "global_load_requests": ("global load requests", 1.0, "{:12.0f}"),
+    "warp_execution_efficiency": ("warp execution efficiency", 100.0, "{:8.1f}"),
+    "gld_transactions_per_request": ("gld transactions per request", 1.0, "{:8.2f}"),
+}
+
+
+def render_table1() -> str:
+    """Table I: major ITC algorithms with their design axes."""
+    out = io.StringIO()
+    out.write("TABLE I — MAJOR ITC ALGORITHMS ON GPUS\n")
+    out.write(f"{'Name':10s} {'Year':>5s} {'Iterator':>9s} {'Intersection':>14s} {'Granularity':>12s}\n")
+    for cls in all_algorithms():
+        row = cls.table1_row()
+        out.write(
+            f"{row['name']:10s} {row['year']:5d} {row['iterator']:>9s} "
+            f"{row['intersection']:>14s} {row['granularity']:>12s}\n"
+        )
+    return out.getvalue()
+
+
+def render_table2(*, replica: bool = True) -> str:
+    """Table II: the 19 datasets (paper columns plus replica statistics)."""
+    out = io.StringIO()
+    out.write("TABLE II — DATASETS (paper scale -> replica scale)\n")
+    out.write(
+        f"{'dataset':18s} {'paperV':>9s} {'paperE':>12s} {'avgdeg':>7s}"
+        + (f" {'repV':>8s} {'repE':>8s} {'repdeg':>7s}\n" if replica else "\n")
+    )
+    for spec in DATASETS:
+        out.write(
+            f"{spec.name:18s} {spec.paper_vertices:9d} {spec.paper_edges:12d} "
+            f"{spec.paper_avg_degree:7.1f}"
+        )
+        if replica:
+            s = summarize_edges(load_edges(spec.name))
+            out.write(f" {s.vertices:8d} {s.edges:8d} {s.avg_degree:7.1f}")
+        out.write("\n")
+    return out.getvalue()
+
+
+def render_figure_series(matrix: ComparisonMatrix, metric: str) -> str:
+    """One figure's data: rows = algorithms, columns = datasets in order.
+
+    Failed cells print ``x`` — the paper's red crosses.
+    """
+    title, scale, fmt = _METRIC_FORMATS.get(metric, (metric, 1.0, "{:10.4f}"))
+    series = matrix.series(metric)
+    out = io.StringIO()
+    out.write(f"{title} — datasets in Table II order\n")
+    width = max(len(fmt.format(0.0)), 10)
+    out.write(" " * 10 + "".join(f"{ds[:width - 1]:>{width}s}" for ds in matrix.datasets) + "\n")
+    for alg in matrix.algorithms:
+        out.write(f"{alg:10s}")
+        for val in series[alg]:
+            if val is None:
+                out.write(f"{'x':>{width}s}")
+            else:
+                out.write(f"{fmt.format(val * scale):>{width}s}")
+        out.write("\n")
+    return out.getvalue()
+
+
+def render_speedups(matrix: ComparisonMatrix, subject: str, baselines: tuple[str, ...]) -> str:
+    """Figure 15 style summary: subject's speedup over each baseline."""
+    out = io.StringIO()
+    out.write(f"speedup of {subject} (baseline time / {subject} time)\n")
+    out.write(f"{'dataset':18s}" + "".join(f"{b:>12s}" for b in baselines) + "\n")
+    for ds in matrix.datasets:
+        srec = matrix.cell(subject, ds)
+        out.write(f"{ds:18s}")
+        for b in baselines:
+            brec = matrix.cell(b, ds)
+            if srec.ok and brec.ok and srec.sim_time_s:
+                out.write(f"{brec.sim_time_s / srec.sim_time_s:12.2f}")
+            else:
+                out.write(f"{'x':>12s}")
+        out.write("\n")
+    return out.getvalue()
+
+
+def matrix_to_csv(matrix: ComparisonMatrix) -> str:
+    """Flat CSV of every cell (one row per record)."""
+    cols = [
+        "dataset",
+        "algorithm",
+        "status",
+        "triangles",
+        "sim_time_s",
+        "warp_execution_efficiency",
+        "gld_transactions_per_request",
+        "global_load_requests",
+        "size_class",
+    ]
+    lines = [",".join(cols)]
+    for r in matrix.records:
+        lines.append(
+            ",".join("" if (v := getattr(r, c)) is None else str(v) for c in cols)
+        )
+    return "\n".join(lines) + "\n"

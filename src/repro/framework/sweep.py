@@ -1,0 +1,76 @@
+"""Parameter sweeps: the ablation half of the harness.
+
+The paper reports each implementation "under different sets of parameters
+... the ones that yield the best performance" (Section IV).
+:func:`sweep_config` reruns one algorithm over a grid of configuration
+values, and :func:`best_config` picks the fastest — the procedure behind
+the paper's per-algorithm configuration choices, and the engine of the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from ..algorithms.base import get_algorithm
+from ..gpu.device import SIM_V100, DeviceSpec
+from ..graph.datasets import load_oriented
+from .runner import DEFAULT_MAX_BLOCKS
+
+__all__ = ["SweepPoint", "sweep_config", "best_config"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's outcome."""
+
+    config: dict
+    sim_time_s: float
+    warp_execution_efficiency: float
+    global_load_requests: float
+    triangles: int
+
+
+def sweep_config(
+    algorithm: str,
+    dataset: str,
+    grid: Mapping[str, Sequence],
+    *,
+    device: DeviceSpec = SIM_V100,
+    ordering: str = "degree",
+    max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
+) -> list[SweepPoint]:
+    """Run ``algorithm`` on ``dataset`` for every combination in ``grid``.
+
+    ``grid`` maps config keys (e.g. ``chunk`` for GroupTC, ``edges_per_warp``
+    for TriCore) to candidate values.  Returns one :class:`SweepPoint` per
+    combination, in itertools.product order.
+    """
+    csr = load_oriented(dataset, ordering)
+    keys = list(grid)
+    points: list[SweepPoint] = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        config = dict(zip(keys, values))
+        alg = get_algorithm(algorithm, **config)
+        result = alg.profile(
+            csr, device=device, max_blocks_simulated=max_blocks_simulated, dataset=dataset
+        )
+        points.append(
+            SweepPoint(
+                config=config,
+                sim_time_s=result.sim_time_s,
+                warp_execution_efficiency=result.metrics.warp_execution_efficiency,
+                global_load_requests=result.metrics.global_load_requests,
+                triangles=result.triangles,
+            )
+        )
+    return points
+
+
+def best_config(points: Sequence[SweepPoint]) -> SweepPoint:
+    """Fastest sweep point (the paper's 'best performance' selection)."""
+    if not points:
+        raise ValueError("empty sweep")
+    return min(points, key=lambda p: p.sim_time_s)

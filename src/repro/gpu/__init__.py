@@ -1,0 +1,84 @@
+"""SIMT GPU simulator: the hardware substrate for the studied kernels.
+
+Stands in for the paper's Tesla V100 / RTX 4090 testbed.  Thread programs
+(see :mod:`repro.gpu.intrinsics`) execute in warp lockstep with coalescing,
+bank-conflict, divergence and occupancy effects, producing the nvprof
+counters the paper profiles and a simulated kernel time via the cost model.
+"""
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel, estimate_time
+from .coop import group_inclusive_scan, scan_tmp_words
+from .device import (
+    DEVICES,
+    RTX_4090,
+    SIM_RTX_4090,
+    SIM_V100,
+    TESLA_V100,
+    DeviceSpec,
+    get_device,
+    scaled_device,
+)
+from .intrinsics import (
+    ThreadCtx,
+    alu,
+    atomic_add_global,
+    atomic_add_shared,
+    atomic_or_global,
+    atomic_or_shared,
+    ld_global,
+    ld_shared,
+    st_global,
+    st_shared,
+    syncthreads,
+)
+from .kernel import KernelConfigError, LaunchResult, launch_kernel
+from .memory import (
+    DeviceArray,
+    DeviceOutOfMemory,
+    GlobalMemory,
+    SectorCache,
+    coalesce_addresses,
+)
+from .metrics import SECTOR_BYTES, ProfileMetrics
+from .sharedmem import NUM_BANKS, SharedMemory, SharedMemoryOverflow, bank_conflicts
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "DEVICES",
+    "NUM_BANKS",
+    "RTX_4090",
+    "SECTOR_BYTES",
+    "SIM_RTX_4090",
+    "SIM_V100",
+    "SectorCache",
+    "TESLA_V100",
+    "CostModel",
+    "DeviceArray",
+    "DeviceOutOfMemory",
+    "DeviceSpec",
+    "GlobalMemory",
+    "KernelConfigError",
+    "LaunchResult",
+    "ProfileMetrics",
+    "SharedMemory",
+    "SharedMemoryOverflow",
+    "ThreadCtx",
+    "alu",
+    "atomic_add_global",
+    "atomic_add_shared",
+    "atomic_or_global",
+    "atomic_or_shared",
+    "bank_conflicts",
+    "coalesce_addresses",
+    "estimate_time",
+    "get_device",
+    "group_inclusive_scan",
+    "scaled_device",
+    "scan_tmp_words",
+    "launch_kernel",
+    "ld_global",
+    "ld_shared",
+    "st_global",
+    "st_shared",
+    "syncthreads",
+]

@@ -1,0 +1,126 @@
+"""Thread-program event vocabulary for the SIMT simulator.
+
+A *thread program* is a Python generator that models one CUDA thread: it
+``yield``s one event tuple per simulated instruction and receives the
+result of the instruction (for loads/atomics) back from the executor via
+``send``.  A kernel is a factory ``program(ctx, ...)`` producing one such
+generator per thread; :func:`repro.gpu.kernel.launch_kernel` runs them in
+warp lockstep.
+
+Event tuples (the executor dispatches on the first element):
+
+====================================  =======================================
+``("g", tag, darr, idx)``             global load → value of ``darr.data[idx]``
+``("gs", tag, darr, idx, value)``     global store
+``("ga", tag, darr, idx, delta)``     global atomic add → old value
+``("go", tag, darr, idx, mask)``      global atomic OR → old value
+``("s", tag, idx)``                   shared load (word index) → value
+``("ss", tag, idx, value)``           shared store
+``("sa", tag, idx, delta)``           shared atomic add → old value
+``("so", tag, idx, mask)``            shared atomic OR → old value
+``("a", n)``                          ``n`` extra ALU cycles
+``("y",)``                            ``__syncthreads()`` barrier
+``("w",)``                            ``__syncwarp()`` barrier
+``("sc", tag, value)``                warp shuffle scan → inclusive sum
+``("bc", tag, value)``                warp exchange → {lane: value} dict
+====================================  =======================================
+
+``tag`` identifies the static instruction site.  Lanes of a warp whose
+current events share the same ``(op, tag)`` are coalesced into one warp-wide
+request (this is how you express "adjacent lanes read adjacent elements");
+lanes at *different* sites are serialised into separate issue steps, which
+is how branch divergence costs surface.
+
+Kernels may yield raw tuples (hot paths do); the constructors below are
+sugar for readability in examples and tests.
+"""
+
+from __future__ import annotations
+
+from .memory import DeviceArray
+
+__all__ = [
+    "ld_global",
+    "st_global",
+    "atomic_add_global",
+    "atomic_or_global",
+    "atomic_or_shared",
+    "ld_shared",
+    "st_shared",
+    "atomic_add_shared",
+    "alu",
+    "syncthreads",
+    "ThreadCtx",
+]
+
+
+def ld_global(darr: DeviceArray, idx: int, tag: str = "g"):
+    """Global load event; ``value = yield ld_global(arr, i, 'nbr')``."""
+    return ("g", tag, darr, idx)
+
+
+def st_global(darr: DeviceArray, idx: int, value: int, tag: str = "gs"):
+    """Global store event."""
+    return ("gs", tag, darr, idx, value)
+
+
+def atomic_add_global(darr: DeviceArray, idx: int, delta: int, tag: str = "ga"):
+    """Global atomic add event; returns the old value."""
+    return ("ga", tag, darr, idx, delta)
+
+
+def atomic_or_global(darr: DeviceArray, idx: int, mask: int, tag: str = "go"):
+    """Global atomic OR event (bitmap set); returns the old value."""
+    return ("go", tag, darr, idx, mask)
+
+
+def atomic_or_shared(idx: int, mask: int, tag: str = "so"):
+    """Shared atomic OR event; returns the old value."""
+    return ("so", tag, idx, mask)
+
+
+def ld_shared(idx: int, tag: str = "s"):
+    """Shared-memory load event (word index within the block's scratchpad)."""
+    return ("s", tag, idx)
+
+
+def st_shared(idx: int, value: int, tag: str = "ss"):
+    """Shared-memory store event."""
+    return ("ss", tag, idx, value)
+
+
+def atomic_add_shared(idx: int, delta: int, tag: str = "sa"):
+    """Shared-memory atomic add event; returns the old value."""
+    return ("sa", tag, idx, delta)
+
+
+def alu(n: int = 1):
+    """Charge ``n`` extra ALU cycles (beyond the implicit 1/step)."""
+    return ("a", n)
+
+
+def syncthreads():
+    """Block-wide barrier event."""
+    return ("y",)
+
+
+class ThreadCtx:
+    """Per-thread identifiers handed to a thread program.
+
+    Mirrors the CUDA built-ins: ``block`` = blockIdx.x, ``tid_in_block`` =
+    threadIdx.x, ``block_dim`` = blockDim.x, ``grid_dim`` = gridDim.x;
+    ``tid`` is the global thread id, ``lane``/``warp`` locate the thread in
+    its warp, and ``smem`` is the block's :class:`SharedMemory`.
+    """
+
+    __slots__ = ("block", "tid_in_block", "block_dim", "grid_dim", "tid", "lane", "warp", "smem")
+
+    def __init__(self, block, tid_in_block, block_dim, grid_dim, warp_size, smem):
+        self.block = block
+        self.tid_in_block = tid_in_block
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.tid = block * block_dim + tid_in_block
+        self.lane = tid_in_block % warp_size
+        self.warp = tid_in_block // warp_size
+        self.smem = smem

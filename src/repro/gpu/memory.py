@@ -1,0 +1,175 @@
+"""Global (device) memory model: allocation accounting and coalescing.
+
+A :class:`GlobalMemory` instance stands in for one GPU's DRAM: kernels
+allocate :class:`DeviceArray` views of host NumPy arrays, the allocator
+tracks the byte budget against the device's capacity (reproducing the
+paper's "failed to run" red crosses as :class:`DeviceOutOfMemory`), and the
+warp executor maps each lane's element index to a byte address so that
+warp-wide accesses can be coalesced into 32-byte sectors exactly the way
+nvprof counts them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import DeviceSpec
+from .metrics import SECTOR_BYTES
+
+__all__ = [
+    "DeviceArray",
+    "GlobalMemory",
+    "DeviceOutOfMemory",
+    "SectorCache",
+    "coalesce_addresses",
+]
+
+
+class DeviceOutOfMemory(RuntimeError):
+    """Raised when an allocation exceeds the simulated device's DRAM.
+
+    The comparison harness records this as a failure cell — the red crosses
+    of Figures 11 and 12.
+    """
+
+
+class DeviceArray:
+    """A named device allocation backed by a host NumPy array.
+
+    ``itemsize`` is the *device* element size (GPU triangle counters store
+    vertices as 4-byte ints regardless of the host dtype), used for both
+    address arithmetic and capacity accounting.
+    """
+
+    __slots__ = ("name", "data", "itemsize", "base")
+
+    def __init__(self, name: str, data: np.ndarray, itemsize: int, base: int):
+        self.name = name
+        self.data = data
+        self.itemsize = itemsize
+        self.base = base
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return len(self) * self.itemsize
+
+    def addr(self, index: int) -> int:
+        """Device byte address of element ``index``."""
+        return self.base + index * self.itemsize
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceArray({self.name!r}, len={len(self)}, base=0x{self.base:x})"
+
+
+class GlobalMemory:
+    """Allocator + address space for one simulated device."""
+
+    #: allocations are aligned to 256 B like cudaMalloc
+    ALIGN = 256
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self._next_base = self.ALIGN
+        self._allocations: dict[str, DeviceArray] = {}
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(a.nbytes for a in self._allocations.values())
+
+    def alloc(self, name: str, data, *, itemsize: int = 4) -> DeviceArray:
+        """Place a host array in device memory.
+
+        Raises
+        ------
+        DeviceOutOfMemory
+            If the allocation would exceed the device's global memory.
+        """
+        data = np.ascontiguousarray(data)
+        if data.ndim != 1:
+            raise ValueError("device arrays are 1-D; flatten first")
+        nbytes = data.shape[0] * itemsize
+        if self.bytes_allocated + nbytes > self.device.global_mem_bytes:
+            raise DeviceOutOfMemory(
+                f"allocating {name!r} ({nbytes / 1e9:.2f} GB) exceeds "
+                f"{self.device.name} capacity "
+                f"({self.device.global_mem_bytes / 1e9:.2f} GB; "
+                f"{self.bytes_allocated / 1e9:.2f} GB already allocated)"
+            )
+        base = self._next_base
+        padded = (nbytes + self.ALIGN - 1) // self.ALIGN * self.ALIGN
+        self._next_base += padded
+        arr = DeviceArray(name, data, itemsize, base)
+        self._allocations[name] = arr
+        return arr
+
+    def zeros(self, name: str, length: int, *, itemsize: int = 4, dtype=np.int64) -> DeviceArray:
+        """Allocate a zero-initialised device array (counters, hash tables).
+
+        The capacity check runs *before* the host array is materialised so
+        that an oversized request fails as :class:`DeviceOutOfMemory` (the
+        paper's red-cross case) rather than exhausting host RAM.
+        """
+        nbytes = int(length) * itemsize
+        if self.bytes_allocated + nbytes > self.device.global_mem_bytes:
+            raise DeviceOutOfMemory(
+                f"allocating {name!r} ({nbytes / 1e9:.2f} GB) exceeds "
+                f"{self.device.name} capacity "
+                f"({self.device.global_mem_bytes / 1e9:.2f} GB; "
+                f"{self.bytes_allocated / 1e9:.2f} GB already allocated)"
+            )
+        return self.alloc(name, np.zeros(length, dtype=dtype), itemsize=itemsize)
+
+    def get(self, name: str) -> DeviceArray:
+        return self._allocations[name]
+
+    def free(self, name: str) -> None:
+        """Release an allocation (capacity only; addresses are not reused)."""
+        self._allocations.pop(name)
+
+
+class SectorCache:
+    """LRU model of the device's L2 cache at 32-byte-sector granularity.
+
+    The executor feeds every warp-wide global access through one cache per
+    kernel launch (blocks execute back to back on the simulator, matching
+    how L2 persists across thread blocks).  Hits are served on chip; misses
+    are the DRAM traffic the cost model charges against bandwidth.
+    """
+
+    __slots__ = ("capacity", "slots")
+
+    def __init__(self, capacity_sectors: int):
+        self.capacity = int(capacity_sectors)
+        self.slots: dict = {}
+
+    def access(self, sectors) -> list:
+        """Touch ``sectors``; returns the ones that missed (LRU insertion)."""
+        cap = self.capacity
+        if cap <= 0:
+            return list(sectors)
+        slots = self.slots
+        misses = []
+        for s in sectors:
+            if s in slots:
+                del slots[s]  # refresh recency
+            else:
+                misses.append(s)
+                if len(slots) >= cap:
+                    del slots[next(iter(slots))]
+            slots[s] = None
+        return misses
+
+
+def coalesce_addresses(addresses) -> int:
+    """Number of 32-byte sectors a warp-wide access touches.
+
+    This is the transaction count nvprof reports per request: adjacent
+    4-byte lanes pack 8 to a sector (perfectly coalesced 32-lane load = 4
+    transactions); a fully scattered load costs one sector per lane.
+    """
+    if not addresses:
+        return 0
+    return len({a // SECTOR_BYTES for a in addresses})

@@ -1,0 +1,193 @@
+"""nvprof-style profiling counters collected by the simulator.
+
+The paper analyses three metrics (Section IV, *Metrics*):
+
+* ``global_load_requests`` — warp-wide global load instructions issued;
+* ``warp_execution_efficiency`` — average active lanes per warp step over
+  the warp size;
+* ``gld_transactions_per_request`` — average 32-byte sectors touched per
+  global load request (lower = better coalescing).
+
+:class:`ProfileMetrics` accumulates the raw counters during simulation and
+exposes the derived metrics as properties, mirroring nvprof's definitions
+on Volta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["ProfileMetrics", "SECTOR_BYTES"]
+
+#: DRAM sector granularity nvprof counts transactions in (bytes).
+SECTOR_BYTES = 32
+
+
+@dataclass
+class ProfileMetrics:
+    """Mutable counter bundle for one kernel launch (or a sum of launches)."""
+
+    # Global memory traffic.
+    global_load_requests: float = 0.0
+    global_load_transactions: float = 0.0
+    global_store_requests: float = 0.0
+    global_store_transactions: float = 0.0
+    atomic_requests: float = 0.0
+    atomic_transactions: float = 0.0
+    #: 32 B sectors that missed the L2 model and actually hit DRAM
+    dram_sectors: float = 0.0
+    #: 32 B sectors served by the per-SM L1 model (on-core, no L2 traffic)
+    l1_hit_sectors: float = 0.0
+    # Shared memory traffic (transactions include bank-conflict replays).
+    shared_load_requests: float = 0.0
+    shared_load_transactions: float = 0.0
+    shared_store_requests: float = 0.0
+    shared_store_transactions: float = 0.0
+    # Execution shape.
+    warp_steps: float = 0.0
+    active_lane_steps: float = 0.0
+    alu_cycles: float = 0.0
+    sync_events: float = 0.0
+    # Launch accounting.
+    warps_launched: float = 0.0
+    blocks_launched: float = 0.0
+    blocks_simulated: float = 0.0
+    kernel_launches: int = 0
+    warp_size: int = 32
+    meta: dict = field(default_factory=dict)
+    #: per-launch snapshots (each itself a ProfileMetrics with empty
+    #: ``launches``); the cost model sums per-launch times when present.
+    launches: list = field(default_factory=list)
+
+    # -- derived metrics (the paper's three) ------------------------------
+
+    @property
+    def warp_execution_efficiency(self) -> float:
+        """Average active lanes per warp step / warp size, in [0, 1]."""
+        if self.warp_steps == 0:
+            return 1.0
+        return self.active_lane_steps / (self.warp_steps * self.warp_size)
+
+    @property
+    def gld_transactions_per_request(self) -> float:
+        """Mean 32 B sectors per global load request (1 = perfectly coalesced
+        4 B loads would be 4; a fully scattered 32-lane load costs 32)."""
+        if self.global_load_requests == 0:
+            return 0.0
+        return self.global_load_transactions / self.global_load_requests
+
+    @property
+    def global_load_bytes(self) -> float:
+        """Bytes moved from DRAM by loads (sectors x 32 B)."""
+        return self.global_load_transactions * SECTOR_BYTES
+
+    @property
+    def global_store_bytes(self) -> float:
+        return (self.global_store_transactions + self.atomic_transactions) * SECTOR_BYTES
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total DRAM traffic the cost model charges against bandwidth
+        (L2 misses only)."""
+        return self.dram_sectors * SECTOR_BYTES
+
+    @property
+    def total_sectors(self) -> float:
+        """All global sectors touched, hit or miss (coalescing metric)."""
+        return (
+            self.global_load_transactions
+            + self.global_store_transactions
+            + self.atomic_transactions
+        )
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Fraction of global sectors served on chip (L1 or L2)."""
+        total = self.total_sectors
+        if total == 0:
+            return 0.0
+        return 1.0 - self.dram_sectors / total
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Fraction of global sectors served by the per-SM L1 model."""
+        total = self.total_sectors
+        if total == 0:
+            return 0.0
+        return self.l1_hit_sectors / total
+
+    @property
+    def issue_cycles(self) -> float:
+        """Warp-scheduler issue cycles: one per warp step, plus extra ALU
+        cycles and shared-memory conflict replays."""
+        replays = (
+            self.shared_load_transactions
+            - self.shared_load_requests
+            + self.shared_store_transactions
+            - self.shared_store_requests
+        )
+        return self.warp_steps + self.alu_cycles + max(replays, 0.0)
+
+    # -- combination -------------------------------------------------------
+
+    _COUNTER_FIELDS = (
+        "global_load_requests",
+        "global_load_transactions",
+        "global_store_requests",
+        "global_store_transactions",
+        "atomic_requests",
+        "atomic_transactions",
+        "dram_sectors",
+        "l1_hit_sectors",
+        "shared_load_requests",
+        "shared_load_transactions",
+        "shared_store_requests",
+        "shared_store_transactions",
+        "warp_steps",
+        "active_lane_steps",
+        "alu_cycles",
+        "sync_events",
+        "warps_launched",
+        "blocks_launched",
+        "blocks_simulated",
+    )
+
+    def scaled(self, factor: float) -> "ProfileMetrics":
+        """Counters multiplied by ``factor`` (block-sampling extrapolation).
+
+        ``blocks_simulated`` is left untouched: it records real simulation
+        effort, not an estimate.
+        """
+        out = ProfileMetrics(warp_size=self.warp_size, meta=dict(self.meta))
+        for name in self._COUNTER_FIELDS:
+            setattr(out, name, getattr(self, name) * factor)
+        out.blocks_simulated = self.blocks_simulated
+        out.kernel_launches = self.kernel_launches
+        out.launches = [l.scaled(factor) for l in self.launches]
+        return out
+
+    def merge(self, other: "ProfileMetrics") -> None:
+        """Accumulate another launch's counters into this one, in place."""
+        if other.warp_size != self.warp_size:
+            raise ValueError("cannot merge metrics with different warp sizes")
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.kernel_launches += other.kernel_launches
+        if other.launches:
+            self.launches.extend(other.launches)
+        else:
+            snap = other.scaled(1.0)
+            self.launches.append(snap)
+
+    def as_dict(self) -> dict:
+        """Raw counters plus derived metrics, for reports and CSV dumps."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("meta", "launches")
+        }
+        out["warp_execution_efficiency"] = self.warp_execution_efficiency
+        out["gld_transactions_per_request"] = self.gld_transactions_per_request
+        out["dram_bytes"] = self.dram_bytes
+        out["issue_cycles"] = self.issue_cycles
+        return out

@@ -1,0 +1,76 @@
+"""Shared-memory model: capacity, banks, and conflict accounting.
+
+Shared memory is the programmable L1 cache of Section II-C: per-block,
+32 banks of 4-byte words, one access per bank per cycle.  When several
+lanes of a warp hit different words in the same bank the access replays,
+which the simulator surfaces as extra shared transactions (and the cost
+model as extra issue cycles).  Lanes reading the *same* word broadcast and
+do not conflict, matching hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SharedMemory", "SharedMemoryOverflow", "bank_conflicts", "NUM_BANKS"]
+
+NUM_BANKS = 32
+WORD_BYTES = 4
+
+
+class SharedMemoryOverflow(RuntimeError):
+    """Raised when a kernel requests more shared memory than the device has.
+
+    Reproduces configuration failures like H-INDEX's broken block mode
+    (Section IV, *Program configuration*).
+    """
+
+
+class SharedMemory:
+    """Per-block scratchpad of 4-byte words addressed by word index.
+
+    Values are stored as int64 for convenience; capacity accounting uses the
+    4-byte device word size.
+    """
+
+    def __init__(self, num_words: int, device_limit_bytes: int | None = None):
+        if num_words < 0:
+            raise ValueError("num_words must be non-negative")
+        if device_limit_bytes is not None and num_words * WORD_BYTES > device_limit_bytes:
+            raise SharedMemoryOverflow(
+                f"block requests {num_words * WORD_BYTES} B shared memory, "
+                f"device allows {device_limit_bytes} B"
+            )
+        self.num_words = num_words
+        self.words = np.zeros(num_words, dtype=np.int64)
+
+    def load(self, index: int) -> int:
+        return int(self.words[index])
+
+    def store(self, index: int, value: int) -> None:
+        self.words[index] = value
+
+    def atomic_add(self, index: int, delta: int) -> int:
+        old = int(self.words[index])
+        self.words[index] = old + delta
+        return old
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_words * WORD_BYTES
+
+
+def bank_conflicts(indices) -> int:
+    """Transactions needed for one warp-wide shared access.
+
+    ``indices`` are the word indices the active lanes touch.  The access
+    replays once per extra distinct word mapped to the same bank; the
+    return value is the serialisation degree (1 = conflict-free).  Lanes
+    hitting the same word broadcast for free.
+    """
+    if not indices:
+        return 0
+    per_bank: dict[int, set] = {}
+    for idx in indices:
+        per_bank.setdefault(idx % NUM_BANKS, set()).add(idx)
+    return max(len(words) for words in per_bank.values())

@@ -1,0 +1,282 @@
+"""Warp-lockstep executor: the core of the SIMT simulator.
+
+A warp holds up to 32 thread generators.  Execution advances in *issue
+steps*: at each step the executor looks at every runnable lane's pending
+event, groups lanes whose events share the same ``(op, tag)`` instruction
+site, and issues each group as one warp instruction:
+
+* each group costs one warp step; ``active_lane_steps`` accrues the group
+  size, so divergence (lanes at different sites, or retired lanes idling
+  while long-running lanes continue) lowers ``warp_execution_efficiency``
+  exactly the way uneven per-thread work does on hardware;
+* a group of global loads/stores coalesces its byte addresses into 32-byte
+  sectors — one *request*, ``k`` *transactions*;
+* a group of shared accesses pays bank-conflict replays;
+* atomics to the same address serialise.
+
+``__syncthreads`` is cooperative: :meth:`Warp.run_until_barrier` returns
+``"barrier"`` once every live lane is parked at a sync event, and the block
+scheduler (:mod:`repro.gpu.kernel`) releases all warps together.
+"""
+
+from __future__ import annotations
+
+from .memory import SectorCache
+from .metrics import SECTOR_BYTES, ProfileMetrics
+from .sharedmem import NUM_BANKS, SharedMemory
+
+__all__ = ["Warp"]
+
+_DONE = object()
+_AT_SYNC = object()
+_AT_WSYNC = object()
+
+
+class Warp:
+    """Execution state for one warp of thread generators."""
+
+    def __init__(
+        self,
+        programs,
+        smem: SharedMemory,
+        metrics: ProfileMetrics,
+        l2: SectorCache | None = None,
+        l1: SectorCache | None = None,
+    ):
+        self.smem = smem
+        self.metrics = metrics
+        self.l2 = l2
+        self.l1 = l1
+        self.gens = list(programs)
+        # pending[i]: next event to issue for lane i, _DONE, or _AT_SYNC.
+        self.pending = []
+        for gen in self.gens:
+            try:
+                self.pending.append(gen.send(None))
+            except StopIteration:
+                self.pending.append(_DONE)
+
+    # -- public driver -----------------------------------------------------
+
+    def finished(self) -> bool:
+        return all(p is _DONE for p in self.pending)
+
+    def run_until_barrier(self) -> str:
+        """Advance until every live lane is done or parked at a sync.
+
+        Returns ``"done"`` or ``"barrier"``.
+        """
+        while True:
+            state = self._step()
+            if state is not None:
+                return state
+
+    def release_barrier(self) -> None:
+        """Resume every lane parked at a sync (called by the block scheduler)."""
+        released = False
+        for i, p in enumerate(self.pending):
+            if p is _AT_SYNC:
+                self._advance(i, None)
+                released = True
+        if released:
+            self.metrics.sync_events += 1
+
+    # -- internals ----------------------------------------------------------
+
+    def _memory_access(self, sectors) -> None:
+        """Walk a warp access through the L1 → L2 → DRAM hierarchy."""
+        m = self.metrics
+        if self.l1 is not None:
+            missed = self.l1.access(sectors)
+            m.l1_hit_sectors += len(sectors) - len(missed)
+        else:
+            missed = sectors
+        if self.l2 is not None:
+            m.dram_sectors += len(self.l2.access(missed))
+        else:
+            m.dram_sectors += len(missed)
+
+    def _advance(self, lane: int, value) -> None:
+        try:
+            self.pending[lane] = self.gens[lane].send(value)
+        except StopIteration:
+            self.pending[lane] = _DONE
+
+    def _step(self) -> str | None:
+        """Issue one warp instruction among the runnable lanes.
+
+        Lanes are partitioned by instruction site ``(op, tag)`` and only the
+        *largest* site issues per step; the other lanes stall.  This models
+        SIMT reconvergence: lanes that reach a load site early wait until
+        the divergent stragglers arrive, then the whole mask issues as one
+        request — without this, variable-length control flow would shred
+        warp-wide loads into many near-singleton requests that lockstep
+        hardware never emits.  Stalled lanes count as inactive in the warp
+        execution efficiency, exactly like masked lanes on hardware.
+
+        Returns ``"done"`` / ``"barrier"`` when the warp can no longer make
+        progress, else ``None``.
+        """
+        pending = self.pending
+        # Partition runnable lanes by instruction site.
+        groups: dict[tuple, list[int]] = {}
+        for lane, ev in enumerate(pending):
+            if ev is _DONE or ev is _AT_SYNC or ev is _AT_WSYNC:
+                continue
+            if ev[0] == "y":
+                pending[lane] = _AT_SYNC
+                continue
+            if ev[0] == "w":
+                pending[lane] = _AT_WSYNC
+                continue
+            groups.setdefault((ev[0], ev[1]), []).append(lane)
+        if len(groups) > 1:
+            # Cross-lane ops (scan/broadcast) must wait for every live lane
+            # to arrive (shuffle semantics); prefer the other sites first.
+            candidates = {
+                k: v for k, v in groups.items() if k[0] != "sc" and k[0] != "bc"
+            }
+            if candidates:
+                winner = max(candidates, key=lambda k: len(candidates[k]))
+            else:
+                winner = max(groups, key=lambda k: len(groups[k]))
+            groups = {winner: groups[winner]}
+        if not groups:
+            # No runnable lane: every live lane is parked at a barrier.
+            if any(p is _AT_WSYNC for p in pending):
+                # __syncwarp: release immediately (warp-local barrier); this
+                # still costs one issue step like the hardware instruction.
+                self.metrics.warp_steps += 1
+                self.metrics.active_lane_steps += sum(
+                    1 for p in pending if p is _AT_WSYNC
+                )
+                for lane, p in enumerate(pending):
+                    if p is _AT_WSYNC:
+                        self._advance(lane, None)
+                return None
+            if any(p is _AT_SYNC for p in pending):
+                return "barrier"
+            return "done"
+        m = self.metrics
+        for (op, _tag), lanes in groups.items():
+            m.warp_steps += 1
+            m.active_lane_steps += len(lanes)
+            if op == "g":
+                sectors = set()
+                for lane in lanes:
+                    ev = pending[lane]
+                    darr, idx = ev[2], ev[3]
+                    sectors.add((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
+                    self._advance(lane, int(darr.data[idx]))
+                m.global_load_requests += 1
+                m.global_load_transactions += len(sectors)
+                self._memory_access(sectors)
+            elif op == "a":
+                extra = 0
+                for lane in lanes:
+                    ev = pending[lane]
+                    if ev[1] > extra:
+                        extra = ev[1]
+                    self._advance(lane, None)
+                # The step itself already cost one issue cycle.
+                if extra > 1:
+                    m.alu_cycles += extra - 1
+            elif op == "bc":
+                # Warp broadcast exchange: ``("bc", tag, value)`` returns
+                # every participating lane the dict {lane: value} — the
+                # all-to-all register exchange a __shfl loop performs.
+                # One issue step, like the shuffle instruction sequence.
+                exchanged = {lane: pending[lane][2] for lane in lanes}
+                for lane in lanes:
+                    self._advance(lane, exchanged)
+            elif op == "sc":
+                # Warp shuffle inclusive prefix sum: ``("sc", tag, value)``
+                # returns each lane its inclusive sum over the group's lanes
+                # in lane order.  Costs log2(warp) ALU steps like a
+                # register shuffle scan; only issues once every runnable
+                # lane has arrived (see the selection rule above).
+                running = 0
+                results = []
+                for lane in sorted(lanes):
+                    running += pending[lane][2]
+                    results.append((lane, running))
+                m.alu_cycles += 5
+                for lane, val in results:
+                    self._advance(lane, val)
+            elif op == "s":
+                words: dict[int, set] = {}
+                vals = []
+                for lane in lanes:
+                    idx = pending[lane][2]
+                    words.setdefault(idx % NUM_BANKS, set()).add(idx)
+                    vals.append((lane, self.smem.load(idx)))
+                m.shared_load_requests += 1
+                m.shared_load_transactions += max(len(w) for w in words.values())
+                for lane, v in vals:
+                    self._advance(lane, v)
+            elif op == "ss":
+                words = {}
+                for lane in lanes:
+                    ev = pending[lane]
+                    idx = ev[2]
+                    words.setdefault(idx % NUM_BANKS, set()).add(idx)
+                    self.smem.store(idx, ev[3])
+                    self._advance(lane, None)
+                m.shared_store_requests += 1
+                m.shared_store_transactions += max(len(w) for w in words.values())
+            elif op == "sa":
+                addr_multiplicity: dict[int, int] = {}
+                for lane in lanes:
+                    ev = pending[lane]
+                    idx = ev[2]
+                    addr_multiplicity[idx] = addr_multiplicity.get(idx, 0) + 1
+                    old = self.smem.atomic_add(idx, ev[3])
+                    self._advance(lane, old)
+                m.shared_store_requests += 1
+                # Same-address shared atomics serialise fully.
+                m.shared_store_transactions += max(addr_multiplicity.values())
+            elif op == "gs":
+                sectors = set()
+                for lane in lanes:
+                    ev = pending[lane]
+                    darr, idx = ev[2], ev[3]
+                    darr.data[idx] = ev[4]
+                    sectors.add((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
+                    self._advance(lane, None)
+                m.global_store_requests += 1
+                m.global_store_transactions += len(sectors)
+                self._memory_access(sectors)
+            elif op == "ga" or op == "go":
+                # Global atomics: "ga" adds, "go" ORs (bitmap sets).  Both
+                # return the old value and serialise on address conflicts.
+                addr_multiplicity = {}
+                sectors = set()
+                for lane in lanes:
+                    ev = pending[lane]
+                    darr, idx = ev[2], ev[3]
+                    addr = darr.base + idx * darr.itemsize
+                    sectors.add(addr // SECTOR_BYTES)
+                    addr_multiplicity[addr] = addr_multiplicity.get(addr, 0) + 1
+                    old = int(darr.data[idx])
+                    darr.data[idx] = old + ev[4] if op == "ga" else old | ev[4]
+                    self._advance(lane, old)
+                m.atomic_requests += 1
+                # Conflicting atomics serialise: charge the worst chain as
+                # replayed transactions on top of the touched sectors.
+                m.atomic_transactions += len(sectors) + max(addr_multiplicity.values()) - 1
+                self._memory_access(sectors)
+            elif op == "so":
+                # Shared atomic OR (bitmap set in shared memory).
+                addr_multiplicity = {}
+                for lane in lanes:
+                    ev = pending[lane]
+                    idx = ev[2]
+                    addr_multiplicity[idx] = addr_multiplicity.get(idx, 0) + 1
+                    old = self.smem.load(idx)
+                    self.smem.store(idx, old | ev[3])
+                    self._advance(lane, old)
+                m.shared_store_requests += 1
+                m.shared_store_transactions += max(addr_multiplicity.values())
+            else:
+                raise ValueError(f"unknown event opcode {op!r}")
+        return None

@@ -1,0 +1,59 @@
+"""Graph substrate: edge-list tools, CSR, orientation, generators, datasets.
+
+This subpackage is the data-preparation half of the paper's unified testing
+framework: cleaning (Section IV, *Datasets*), format conversion, orientation
+pre-processing (Section II-B) and the 19 synthetic Table II replicas.
+"""
+
+from .csr import CSRGraph
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    get_spec,
+    load_edges,
+    load_oriented,
+    load_undirected,
+    size_class,
+)
+from .edgelist import (
+    as_edge_array,
+    clean_edges,
+    compact_vertices,
+    deduplicate_edges,
+    remove_self_loops,
+    symmetrize_edges,
+)
+from .orientation import (
+    degree_order,
+    orient_by_degree,
+    orient_by_id,
+    oriented_csr,
+    undirected_csr,
+)
+from .stats import GraphSummary, summarize_edges
+
+__all__ = [
+    "CSRGraph",
+    "DATASETS",
+    "DatasetSpec",
+    "GraphSummary",
+    "as_edge_array",
+    "clean_edges",
+    "compact_vertices",
+    "dataset_names",
+    "deduplicate_edges",
+    "degree_order",
+    "get_spec",
+    "load_edges",
+    "load_oriented",
+    "load_undirected",
+    "orient_by_degree",
+    "orient_by_id",
+    "oriented_csr",
+    "remove_self_loops",
+    "size_class",
+    "summarize_edges",
+    "symmetrize_edges",
+    "undirected_csr",
+]

@@ -1,0 +1,258 @@
+"""Synthetic graph generators.
+
+The paper evaluates on 19 SNAP datasets.  SNAP is unavailable offline, so
+:mod:`repro.graph.datasets` rebuilds scaled replicas of those graphs from the
+family-appropriate generators in this module:
+
+* :func:`chung_lu` — power-law expected-degree model; social networks and
+  communication graphs (degree exponent controls tail heaviness, which is
+  the paper's "workload imbalance" driver).
+* :func:`rmat` — recursive-matrix/Kronecker generator; skewed web-style
+  graphs with strong community structure.
+* :func:`barabasi_albert` — preferential attachment; citation-like graphs
+  with guaranteed high clustering at small m.
+* :func:`road_lattice` — 2-D grid with sparse diagonal shortcuts; replicates
+  planar road networks (RoadNet-CA: avg degree < 3, few triangles).
+* :func:`erdos_renyi` — G(n, m) baseline with near-uniform degrees.
+
+Deterministic fixtures (:func:`complete_graph`, :func:`star`, :func:`cycle`,
+:func:`wheel`, :func:`bipartite`) have closed-form triangle counts and back
+the unit tests.
+
+All generators return *cleaned undirected* edge arrays (``u < v`` per row,
+deduplicated, no self-loops) suitable for
+:func:`repro.graph.orientation.oriented_csr`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .edgelist import clean_edges
+
+__all__ = [
+    "chung_lu",
+    "rmat",
+    "barabasi_albert",
+    "road_lattice",
+    "erdos_renyi",
+    "complete_graph",
+    "star",
+    "cycle",
+    "wheel",
+    "bipartite",
+    "power_law_weights",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def power_law_weights(n: int, exponent: float, *, min_weight: float = 1.0) -> np.ndarray:
+    """Deterministic power-law weight sequence ``w_i ~ i^(-1/(exponent-1))``.
+
+    These are the expected degrees fed to :func:`chung_lu`.  ``exponent`` is
+    the degree-distribution exponent gamma (> 1); real social graphs sit in
+    the 2–3 range.
+    """
+    if n <= 0:
+        return np.empty(0)
+    if exponent <= 1.0:
+        raise ValueError("power-law exponent must exceed 1")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return min_weight * ranks ** (-1.0 / (exponent - 1.0)) * n ** (1.0 / (exponent - 1.0))
+
+
+def chung_lu(n: int, target_edges: int, *, exponent: float = 2.3, seed=0) -> np.ndarray:
+    """Chung–Lu power-law random graph with roughly ``target_edges`` edges.
+
+    Samples endpoints independently with probability proportional to a
+    power-law weight sequence, then cleans duplicates/self-loops.  Sampling
+    proceeds in batches until the cleaned edge count reaches the target (or
+    the graph saturates), so the returned size is close to ``target_edges``
+    from below.
+    """
+    if n < 2 or target_edges <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    rng = _rng(seed)
+    w = power_law_weights(n, exponent)
+    p = w / w.sum()
+    chunks: list[np.ndarray] = []
+    have = 0
+    max_possible = n * (n - 1) // 2
+    target = min(target_edges, max_possible)
+    # Oversample: duplicates concentrate on heavy vertices.
+    for _ in range(64):
+        need = target - have
+        if need <= 0:
+            break
+        batch = max(1024, int(need * 1.7))
+        u = rng.choice(n, size=batch, p=p)
+        v = rng.choice(n, size=batch, p=p)
+        chunks.append(np.stack([u, v], axis=1))
+        cleaned = clean_edges(np.concatenate(chunks, axis=0))
+        have = cleaned.shape[0]
+    cleaned = clean_edges(np.concatenate(chunks, axis=0))
+    if cleaned.shape[0] > target:
+        keep = _rng(seed + 1).choice(cleaned.shape[0], size=target, replace=False)
+        cleaned = clean_edges(cleaned[np.sort(keep)])
+    return cleaned
+
+
+def rmat(scale: int, target_edges: int, *, a: float = 0.57, b: float = 0.19,
+         c: float = 0.19, seed=0) -> np.ndarray:
+    """R-MAT (recursive matrix) generator over ``2**scale`` vertices.
+
+    Classic Graph500 parameters by default.  ``a + b + c`` must be < 1; the
+    remaining mass ``d = 1 - a - b - c`` goes to the bottom-right quadrant.
+    Heavier ``a`` concentrates edges on low-id vertices producing the skewed
+    degree distributions of web crawls.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("RMAT quadrant probabilities must be non-negative")
+    n = 1 << scale
+    rng = _rng(seed)
+    chunks: list[np.ndarray] = []
+    have = 0
+    target = min(target_edges, n * (n - 1) // 2)
+    for _ in range(64):
+        need = target - have
+        if need <= 0:
+            break
+        batch = max(1024, int(need * 1.8))
+        u = np.zeros(batch, dtype=np.int64)
+        v = np.zeros(batch, dtype=np.int64)
+        # Choose a quadrant per bit level: 0 = (a) top-left, 1 = (b) top-right,
+        # 2 = (c) bottom-left, 3 = (d) bottom-right.
+        for _level in range(scale):
+            r = rng.random(batch)
+            right = (r >= a) & (r < a + b) | (r >= a + b + c)
+            down = r >= a + b
+            u = (u << 1) | down.astype(np.int64)
+            v = (v << 1) | right.astype(np.int64)
+        chunks.append(np.stack([u, v], axis=1))
+        cleaned = clean_edges(np.concatenate(chunks, axis=0))
+        have = cleaned.shape[0]
+    cleaned = clean_edges(np.concatenate(chunks, axis=0))
+    if cleaned.shape[0] > target:
+        keep = _rng(seed + 1).choice(cleaned.shape[0], size=target, replace=False)
+        cleaned = clean_edges(cleaned[np.sort(keep)])
+    return cleaned
+
+
+def barabasi_albert(n: int, m: int, *, seed=0) -> np.ndarray:
+    """Preferential-attachment graph: each new vertex attaches to ``m`` targets.
+
+    Uses the standard repeated-nodes implementation: targets are sampled
+    from a growing pool in which each endpoint appears once per incident
+    edge, giving attachment probability proportional to degree.
+    """
+    if m < 1 or n <= m:
+        raise ValueError("need n > m >= 1 for Barabási–Albert")
+    rng = _rng(seed)
+    repeated: list[int] = list(range(m))  # seed pool: the initial clique-ish core
+    edges: list[tuple[int, int]] = []
+    pool = np.array(repeated, dtype=np.int64)
+    for v in range(m, n):
+        # Sample m distinct targets from the pool.
+        targets: set[int] = set()
+        while len(targets) < m:
+            pick = int(pool[rng.integers(0, pool.shape[0])])
+            targets.add(pick)
+        new = []
+        for t in targets:
+            edges.append((t, v))
+            new.extend((t, v))
+        pool = np.concatenate([pool, np.array(new, dtype=np.int64)])
+    return clean_edges(np.array(edges, dtype=np.int64))
+
+
+def road_lattice(side: int, *, shortcut_fraction: float = 0.05, seed=0) -> np.ndarray:
+    """2-D grid road network with a sprinkle of diagonal shortcuts.
+
+    The grid alone is triangle-free; diagonals create the sparse triangle
+    population real road networks exhibit.  ``side**2`` vertices, average
+    degree just under 3 for the default fraction — matching RoadNet-CA's
+    2.9 in Table II.
+    """
+    if side < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    idx = np.arange(side * side, dtype=np.int64).reshape(side, side)
+    horiz = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1)
+    vert = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+    diag = np.stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()], axis=1)
+    rng = _rng(seed)
+    keep = rng.random(diag.shape[0]) < shortcut_fraction
+    return clean_edges(np.concatenate([horiz, vert, diag[keep]], axis=0))
+
+
+def erdos_renyi(n: int, target_edges: int, *, seed=0) -> np.ndarray:
+    """G(n, m): ``target_edges`` distinct uniform random edges."""
+    max_possible = n * (n - 1) // 2
+    target = min(target_edges, max_possible)
+    if n < 2 or target <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    rng = _rng(seed)
+    chunks: list[np.ndarray] = []
+    have = 0
+    for _ in range(64):
+        need = target - have
+        if need <= 0:
+            break
+        batch = max(1024, int(need * 1.3))
+        u = rng.integers(0, n, size=batch)
+        v = rng.integers(0, n, size=batch)
+        chunks.append(np.stack([u, v], axis=1))
+        have = clean_edges(np.concatenate(chunks, axis=0)).shape[0]
+    cleaned = clean_edges(np.concatenate(chunks, axis=0))
+    if cleaned.shape[0] > target:
+        keep = _rng(seed + 1).choice(cleaned.shape[0], size=target, replace=False)
+        cleaned = clean_edges(cleaned[np.sort(keep)])
+    return cleaned
+
+
+# -- deterministic fixtures with closed-form triangle counts ---------------
+
+
+def complete_graph(n: int) -> np.ndarray:
+    """K_n; triangle count is ``C(n, 3)``."""
+    u, v = np.triu_indices(n, k=1)
+    return np.stack([u, v], axis=1).astype(np.int64)
+
+
+def star(n: int) -> np.ndarray:
+    """Hub 0 connected to ``n - 1`` leaves; zero triangles."""
+    if n < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    leaves = np.arange(1, n, dtype=np.int64)
+    return np.stack([np.zeros(n - 1, dtype=np.int64), leaves], axis=1)
+
+
+def cycle(n: int) -> np.ndarray:
+    """C_n; one triangle iff ``n == 3``."""
+    if n < 3:
+        return np.empty((0, 2), dtype=np.int64)
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return clean_edges(np.stack([u, v], axis=1))
+
+
+def wheel(n: int) -> np.ndarray:
+    """Wheel W_n: hub 0 plus cycle on vertices 1..n; ``n`` triangles (n >= 3)."""
+    if n < 3:
+        raise ValueError("wheel needs a rim of at least 3 vertices")
+    rim = np.arange(1, n + 1, dtype=np.int64)
+    spokes = np.stack([np.zeros(n, dtype=np.int64), rim], axis=1)
+    ring = np.stack([rim, np.roll(rim, -1)], axis=1)
+    return clean_edges(np.concatenate([spokes, ring], axis=0))
+
+
+def bipartite(a: int, b: int) -> np.ndarray:
+    """Complete bipartite K_{a,b}; triangle-free by construction."""
+    left = np.arange(a, dtype=np.int64)
+    right = np.arange(a, a + b, dtype=np.int64)
+    u = np.repeat(left, b)
+    v = np.tile(right, a)
+    return np.stack([u, v], axis=1)

@@ -1,0 +1,104 @@
+"""Graph pre-processing: orientation and vertex ordering.
+
+Intersection-based triangle counting operates on an *oriented* version of
+the undirected input graph: each undirected edge ``{u, v}`` is stored once,
+directed from the lower-ranked endpoint to the higher-ranked one.  Every
+triangle then appears exactly once (at its lowest-ranked vertex), so no
+post-hoc division is needed and the per-edge intersection work shrinks.
+
+The paper (Section II-B, *Pre-processing*) notes that the ranking can be by
+vertex id, degree, k-coreness or random order.  We implement the two used by
+the studied systems:
+
+* :func:`orient_by_id` — the "popular format" GroupTC's first optimisation
+  assumes (for any stored edge ``(u, v)``, ``u < v``).
+* :func:`orient_by_degree` — rank by ascending degree with id tie-break,
+  then relabel; this bounds out-degrees by the graph degeneracy-ish measure
+  and is what TRUST-style systems ship with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+from .edgelist import as_edge_array, clean_edges
+
+__all__ = [
+    "orient_by_id",
+    "orient_by_degree",
+    "degree_order",
+    "undirected_csr",
+    "oriented_csr",
+]
+
+
+def undirected_csr(edges, *, n: int | None = None) -> CSRGraph:
+    """Clean a raw edge list and build the full symmetric adjacency CSR."""
+    edges = clean_edges(edges)
+    if edges.shape[0]:
+        both = np.concatenate([edges, edges[:, ::-1]], axis=0)
+    else:
+        both = edges
+    return CSRGraph.from_edges(both, n=n)
+
+
+def orient_by_id(edges, *, n: int | None = None) -> CSRGraph:
+    """Orient a cleaned undirected edge list so every edge has ``u < v``.
+
+    Returns the oriented CSR.  ``clean_edges`` already canonicalises rows to
+    ``(min, max)``, so this is a cleaning + CSR build.
+    """
+    edges = clean_edges(edges)
+    return CSRGraph.from_edges(edges, n=n, meta={"orientation": "id"})
+
+
+def degree_order(edges) -> np.ndarray:
+    """Rank vertices by ascending undirected degree, ids breaking ties.
+
+    Returns ``rank`` with ``rank[v]`` the position of vertex ``v`` in the
+    ordering (0 = lowest degree).
+    """
+    edges = clean_edges(edges)
+    n = int(edges.max()) + 1 if edges.shape[0] else 0
+    deg = np.bincount(edges.ravel(), minlength=n)
+    order = np.lexsort((np.arange(n), deg))
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64)
+    return rank
+
+
+def orient_by_degree(edges, *, relabel: bool = True) -> CSRGraph:
+    """Orient each undirected edge from its lower-degree endpoint.
+
+    With ``relabel=True`` (default) vertices are renamed so that rank order
+    equals id order; the result then also satisfies the ``u < v`` format and
+    :meth:`CSRGraph.is_oriented` holds.  With ``relabel=False`` original ids
+    are kept and only the direction encodes the ranking.
+    """
+    edges = clean_edges(edges)
+    rank = degree_order(edges)
+    if edges.shape[0] == 0:
+        return CSRGraph.from_edges(edges, meta={"orientation": "degree"})
+    u, v = edges[:, 0], edges[:, 1]
+    flip = rank[u] > rank[v]
+    src = np.where(flip, v, u)
+    dst = np.where(flip, u, v)
+    if relabel:
+        src, dst = rank[src], rank[dst]
+    oriented = np.stack([src, dst], axis=1)
+    n = rank.shape[0]
+    return CSRGraph.from_edges(oriented, n=n, meta={"orientation": "degree", "relabel": relabel})
+
+
+def oriented_csr(edges, *, ordering: str = "id") -> CSRGraph:
+    """Dispatch helper: build an oriented CSR using the named ordering.
+
+    ``ordering`` is ``"id"`` or ``"degree"``.
+    """
+    edges = as_edge_array(edges)
+    if ordering == "id":
+        return orient_by_id(edges)
+    if ordering == "degree":
+        return orient_by_degree(edges)
+    raise ValueError(f"unknown ordering {ordering!r}; expected 'id' or 'degree'")

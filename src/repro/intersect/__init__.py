@@ -1,0 +1,46 @@
+"""Intersection primitives shared by the nine triangle-counting kernels.
+
+One module per intersection method of Table I:
+
+* :mod:`~repro.intersect.merge` — two-pointer merge and GPU Merge Path
+  (Polak, Green, Fox-merge).
+* :mod:`~repro.intersect.binsearch` — binary search, scalar and batched
+  (TriCore, Hu, Fox-binsearch, GroupTC).
+* :mod:`~repro.intersect.hashtable` — fixed-bucket row-major hash tables
+  (H-INDEX, TRUST).
+* :mod:`~repro.intersect.bitmap` — word-packed vertex bitmaps (Bisson).
+"""
+
+from .binsearch import (
+    batch_edge_intersection_counts,
+    batch_membership,
+    binary_search,
+    binary_search_probes,
+    binsearch_intersect_count,
+)
+from .bitmap import VertexBitmap
+from .hashtable import FixedBucketHashTable, bucket_of, collision_stats
+from .merge import (
+    merge_intersect,
+    merge_intersect_count,
+    merge_path_partition,
+    merge_path_search,
+    merge_steps,
+)
+
+__all__ = [
+    "FixedBucketHashTable",
+    "VertexBitmap",
+    "batch_edge_intersection_counts",
+    "batch_membership",
+    "binary_search",
+    "binary_search_probes",
+    "binsearch_intersect_count",
+    "bucket_of",
+    "collision_stats",
+    "merge_intersect",
+    "merge_intersect_count",
+    "merge_path_partition",
+    "merge_path_search",
+    "merge_steps",
+]

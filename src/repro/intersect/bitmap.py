@@ -1,0 +1,95 @@
+"""Vertex bitmap intersection: the Bisson (Section III-C) substrate.
+
+Bisson's kernel materialises, per vertex ``u``, a bitmap over *all* graph
+vertices marking ``N(u)``; every 2-hop neighbour then tests its bit.  The
+bitmap is word-packed (one atomic OR per set bit on the GPU); its length
+equals the vertex count, which is what makes the approach memory-hungry —
+the simulator's out-of-memory accounting uses :meth:`VertexBitmap.words`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VertexBitmap"]
+
+_WORD_BITS = 32
+
+
+class VertexBitmap:
+    """Word-packed bitmap over vertex ids ``0..n-1``.
+
+    Mirrors the device data structure: 32-bit words, atomic-OR set
+    semantics, O(1) test.  ``set_many`` / ``clear_many`` model the build and
+    tear-down phases that bracket each vertex's processing in Bisson.
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = int(n)
+        self.num_words = (self.n + _WORD_BITS - 1) // _WORD_BITS
+        self.words = np.zeros(self.num_words, dtype=np.uint32)
+
+    def _check(self, v: int) -> int:
+        v = int(v)
+        if not 0 <= v < self.n:
+            raise IndexError(f"vertex {v} out of range [0, {self.n})")
+        return v
+
+    def set(self, v: int) -> None:
+        """Set one bit (one atomic OR on the device)."""
+        v = self._check(v)
+        self.words[v // _WORD_BITS] |= np.uint32(1 << (v % _WORD_BITS))
+
+    def test(self, v: int) -> bool:
+        """Test one bit (one word load on the device)."""
+        v = self._check(v)
+        return bool(self.words[v // _WORD_BITS] >> np.uint32(v % _WORD_BITS) & 1)
+
+    def clear(self, v: int) -> None:
+        """Clear one bit."""
+        v = self._check(v)
+        self.words[v // _WORD_BITS] &= ~np.uint32(1 << (v % _WORD_BITS))
+
+    def set_many(self, values) -> None:
+        """Set a batch of bits (the per-vertex bitmap build phase)."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape[0] == 0:
+            return
+        if values.min() < 0 or values.max() >= self.n:
+            raise IndexError("vertex id out of bitmap range")
+        words = values // _WORD_BITS
+        bits = np.uint32(1) << (values % _WORD_BITS).astype(np.uint32)
+        np.bitwise_or.at(self.words, words, bits)
+
+    def clear_many(self, values) -> None:
+        """Clear a batch of bits (Bisson resets the bitmap between vertices)."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape[0] == 0:
+            return
+        words = values // _WORD_BITS
+        bits = np.uint32(1) << (values % _WORD_BITS).astype(np.uint32)
+        np.bitwise_and.at(self.words, words, ~bits)
+
+    def test_many(self, values) -> np.ndarray:
+        """Vectorised bit test for an array of vertex ids."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        if values.min() < 0 or values.max() >= self.n:
+            raise IndexError("vertex id out of bitmap range")
+        words = self.words[values // _WORD_BITS]
+        return (words >> (values % _WORD_BITS).astype(np.uint32) & 1).astype(bool)
+
+    def intersect_count(self, queries) -> int:
+        """Number of query ids whose bit is set."""
+        return int(np.count_nonzero(self.test_many(queries)))
+
+    def popcount(self) -> int:
+        """Total set bits (sanity checks in tests)."""
+        return int(np.unpackbits(self.words.view(np.uint8)).sum())
+
+    def memory_words(self) -> int:
+        """Device words the bitmap occupies (n bits packed into 32-bit words)."""
+        return self.num_words

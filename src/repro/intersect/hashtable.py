@@ -1,0 +1,133 @@
+"""Fixed-bucket hash table: the H-INDEX / TRUST intersection substrate.
+
+H-INDEX (Section III-G) builds, per edge, a hash table over the shorter
+neighbour list: ``len[i]`` holds the fill of bucket ``i`` and the elements
+are stored *row-major* ("row-order" in the paper) — the j-th element of all
+buckets is contiguous — to coalesce the lookups of a warp whose lanes probe
+different buckets.  TRUST (Section III-H) reuses the same structure per
+vertex with 32 or 1024 buckets chosen by the degree heuristic.
+
+:class:`FixedBucketHashTable` reproduces that layout exactly, including the
+probe accounting the simulator charges for collisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FixedBucketHashTable", "bucket_of", "collision_stats"]
+
+
+def bucket_of(values, num_buckets: int) -> np.ndarray:
+    """The modulo hash used by both H-INDEX and TRUST."""
+    return np.asarray(values, dtype=np.int64) % np.int64(num_buckets)
+
+
+class FixedBucketHashTable:
+    """Open hash table with a fixed bucket count and row-major storage.
+
+    Parameters
+    ----------
+    values:
+        Sorted or unsorted 1-D array of distinct non-negative ints.
+    num_buckets:
+        Bucket count (32 for H-INDEX warps / small TRUST vertices, 1024 for
+        large TRUST vertices).
+
+    Attributes
+    ----------
+    lens:
+        ``(num_buckets,)`` fill counts (the paper's ``len`` array).
+    slots:
+        ``(depth, num_buckets)`` element matrix; ``slots[j, i]`` is the j-th
+        element of bucket ``i`` and rows are contiguous in memory — the
+        row-order layout of Figure 9.  Empty cells hold ``EMPTY``.
+    """
+
+    EMPTY: int = -1
+
+    def __init__(self, values, num_buckets: int):
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be positive")
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueError("values must be 1-D")
+        self.num_buckets = int(num_buckets)
+        buckets = bucket_of(values, num_buckets)
+        self.lens = np.bincount(buckets, minlength=num_buckets).astype(np.int64)
+        self.depth = int(self.lens.max()) if values.shape[0] else 0
+        self.slots = np.full((self.depth, self.num_buckets), self.EMPTY, dtype=np.int64)
+        fill = np.zeros(num_buckets, dtype=np.int64)
+        for v, b in zip(values.tolist(), buckets.tolist()):
+            self.slots[fill[b], b] = v
+            fill[b] += 1
+
+    def __len__(self) -> int:
+        return int(self.lens.sum())
+
+    def contains(self, key: int) -> bool:
+        """Membership probe (linear scan of one bucket)."""
+        found, _ = self.probe(key)
+        return found
+
+    def probe(self, key: int) -> tuple[bool, int]:
+        """Membership plus the number of slots inspected.
+
+        A GPU lane pays one (shared or global) load per inspected slot;
+        collision chains therefore directly surface in the simulated
+        metrics — this is how H-INDEX's 32-bucket table degrades on
+        high-degree graphs (Section IV-A).
+        """
+        key = int(key)
+        b = key % self.num_buckets
+        fill = int(self.lens[b])
+        probes = 0
+        for j in range(fill):
+            probes += 1
+            if int(self.slots[j, b]) == key:
+                return True, probes
+        return False, max(probes, 1 if fill == 0 else probes)
+
+    def contains_many(self, keys) -> np.ndarray:
+        """Vectorised membership for an array of keys."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.shape[0] == 0 or self.depth == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        b = keys % self.num_buckets
+        return (self.slots[:, b] == keys[None, :]).any(axis=0)
+
+    def intersect_count(self, keys) -> int:
+        """``|table ∩ keys|`` — the kernel's per-edge triangle contribution."""
+        return int(np.count_nonzero(self.contains_many(keys)))
+
+    def total_probes(self, keys) -> int:
+        """Total slot inspections for probing every key (hit stops early)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        total = 0
+        for k in keys.tolist():
+            _, p = self.probe(k)
+            total += p
+        return total
+
+    def memory_words(self) -> int:
+        """Device words occupied: ``len`` array plus the slot matrix."""
+        return self.num_buckets + self.slots.size
+
+
+def collision_stats(values, num_buckets: int) -> dict:
+    """Bucket-fill statistics for a value set under the modulo hash.
+
+    Returns max/mean fill and the expected probes per *miss* (a miss scans
+    the full bucket).  Used by the analysis module to explain H-INDEX's
+    large-graph collapse.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    lens = np.bincount(bucket_of(values, num_buckets), minlength=num_buckets)
+    if values.shape[0] == 0:
+        return {"max_fill": 0, "mean_fill": 0.0, "miss_probes": 0.0}
+    return {
+        "max_fill": int(lens.max()),
+        "mean_fill": float(lens.mean()),
+        # A uniformly random missing key scans its bucket fully.
+        "miss_probes": float((lens**2).sum() / max(values.shape[0], 1)),
+    }

@@ -1,0 +1,154 @@
+"""Merge-based sorted-list intersection and GPU Merge Path partitioning.
+
+Two consumers:
+
+* Polak's kernel does the classic two-pointer merge intersection
+  (:func:`merge_intersect_count`), one thread per edge.
+* Green's kernel splits one big merge across a block of threads using the
+  *GPU Merge Path* diagonal-partition algorithm of Green, McColl & Bader
+  (ICS'12) — :func:`merge_path_partition` — so every thread merges an
+  equal-sized slice.
+
+All functions operate on sorted 1-D integer arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "merge_intersect",
+    "merge_intersect_count",
+    "merge_steps",
+    "merge_path_search",
+    "merge_path_partition",
+]
+
+
+def merge_intersect(a, b) -> np.ndarray:
+    """Common elements of two sorted arrays via two-pointer merge."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    out = []
+    i = j = 0
+    while i < a.shape[0] and j < b.shape[0]:
+        if a[i] < b[j]:
+            i += 1
+        elif a[i] > b[j]:
+            j += 1
+        else:
+            out.append(int(a[i]))
+            i += 1
+            j += 1
+    return np.array(out, dtype=a.dtype if a.size else np.int64)
+
+
+def merge_intersect_count(a, b) -> int:
+    """``len(merge_intersect(a, b))`` without materialising the set."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    count = 0
+    i = j = 0
+    na, nb = a.shape[0], b.shape[0]
+    while i < na and j < nb:
+        x, y = a[i], b[j]
+        if x < y:
+            i += 1
+        elif x > y:
+            j += 1
+        else:
+            count += 1
+            i += 1
+            j += 1
+    return count
+
+
+def merge_steps(a, b) -> int:
+    """Number of pointer advances the two-pointer merge performs.
+
+    This is Polak's per-thread work metric: the merge stops when either
+    list is exhausted, so the step count is at most ``len(a) + len(b)`` but
+    can be smaller.  Used by workload-estimation code (Fox) and tests.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    steps = 0
+    i = j = 0
+    na, nb = a.shape[0], b.shape[0]
+    while i < na and j < nb:
+        if a[i] < b[j]:
+            i += 1
+        elif a[i] > b[j]:
+            j += 1
+        else:
+            i += 1
+            j += 1
+        steps += 1
+    return steps
+
+
+def merge_path_search(a, b, diagonal: int) -> tuple[int, int]:
+    """Find the merge-path crossing point of ``diagonal``.
+
+    Returns ``(i, j)`` with ``i + j == diagonal`` such that merging
+    ``a[:i]`` with ``b[:j]`` consumes exactly the first ``diagonal``
+    outputs of the (stable, a-first) merge of ``a`` and ``b``.
+
+    The crossing point is located by binary search along the diagonal: it is
+    the smallest ``i`` with ``a[i] > b[diagonal - 1 - i]`` (treating
+    out-of-range comparisons appropriately), matching the GPU Merge Path
+    formulation.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    na, nb = a.shape[0], b.shape[0]
+    if not 0 <= diagonal <= na + nb:
+        raise ValueError("diagonal out of range")
+    lo = max(0, diagonal - nb)
+    hi = min(diagonal, na)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        # a[mid] vs b[diagonal - 1 - mid]: if a wins (<=) move right.
+        if a[mid] <= b[diagonal - 1 - mid]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo, diagonal - lo
+
+
+def merge_path_partition(a, b, parts: int) -> list[tuple[int, int, int, int]]:
+    """Split the merge of ``a`` and ``b`` into ``parts`` balanced slices.
+
+    Returns a list of ``(a_lo, a_hi, b_lo, b_hi)`` tuples; slice ``k`` merges
+    ``a[a_lo:a_hi]`` with ``b[b_lo:b_hi]``.  Every slice consumes the same
+    number of merge outputs (±1), which is Green's thread-balancing device.
+
+    The concatenated slices cover both inputs exactly once.  Equal elements
+    ``a[i] == b[j]`` are consumed consecutively by the a-first merge order,
+    but a diagonal can still land exactly between them; each boundary is
+    therefore nudged to keep such a pair inside one slice, so counting
+    intersections slice-by-slice is exact for duplicate-free inputs (sorted
+    *sets*, which neighbour lists are).
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    a = np.asarray(a)
+    b = np.asarray(b)
+    total = a.shape[0] + b.shape[0]
+    bounds = [merge_path_search(a, b, (total * k) // parts) for k in range(parts + 1)]
+    # Tie fix: with a-first merge order the only possible straddle at a
+    # boundary (i, j) is a[i-1] == b[j] (the 'a' copy fell in the left slice,
+    # its 'b' twin in the right one).  Pull b[j] into the left slice.
+    fixed: list[tuple[int, int]] = [bounds[0]]
+    for k in range(1, parts):
+        i, j = bounds[k]
+        if 0 < i <= a.shape[0] and j < b.shape[0] and a[i - 1] == b[j]:
+            j += 1
+        # Keep boundaries monotone after the nudge.
+        pi, pj = fixed[-1]
+        fixed.append((max(i, pi), max(j, pj)))
+    fixed.append(bounds[parts])
+    return [
+        (fixed[k][0], fixed[k + 1][0], fixed[k][1], fixed[k + 1][1])
+        for k in range(parts)
+    ]

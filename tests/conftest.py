@@ -1,0 +1,63 @@
+"""Shared fixtures: small deterministic graphs with known triangle counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import oriented_csr
+from repro.graph.generators import (
+    bipartite,
+    chung_lu,
+    complete_graph,
+    cycle,
+    star,
+    wheel,
+)
+
+
+def comb3(n: int) -> int:
+    return n * (n - 1) * (n - 2) // 6
+
+
+#: (name, edge-array factory, exact triangle count)
+KNOWN_GRAPHS = [
+    ("empty", lambda: np.empty((0, 2), dtype=np.int64), 0),
+    ("single-edge", lambda: np.array([[0, 1]]), 0),
+    ("triangle", lambda: complete_graph(3), 1),
+    ("k4", lambda: complete_graph(4), 4),
+    ("k7", lambda: complete_graph(7), comb3(7)),
+    ("k13", lambda: complete_graph(13), comb3(13)),
+    ("star-20", lambda: star(20), 0),
+    ("cycle-3", lambda: cycle(3), 1),
+    ("cycle-12", lambda: cycle(12), 0),
+    ("wheel-10", lambda: wheel(10), 10),
+    ("bipartite-4x5", lambda: bipartite(4, 5), 0),
+    ("two-triangles", lambda: np.array([[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]]), 2),
+    ("chung-lu-small", lambda: chung_lu(50, 180, seed=7), None),  # count via reference
+]
+
+
+@pytest.fixture(params=[k[0] for k in KNOWN_GRAPHS])
+def known_graph(request):
+    """(edges, expected count or None) for each canned graph."""
+    name = request.param
+    for n, factory, count in KNOWN_GRAPHS:
+        if n == name:
+            return factory(), count
+    raise AssertionError(name)
+
+
+@pytest.fixture
+def k5_csr():
+    return oriented_csr(complete_graph(5))
+
+
+@pytest.fixture
+def wheel_csr():
+    return oriented_csr(wheel(10))
+
+
+@pytest.fixture
+def powerlaw_csr():
+    return oriented_csr(chung_lu(80, 320, seed=3))

@@ -1,0 +1,71 @@
+"""Speedup and profiling analyses."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    rank_algorithms,
+    regime_mean,
+    speedup_series,
+    summarize_speedups,
+    time_work_correlation,
+    win_count,
+)
+from repro.framework import run_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(
+        ("Polak", "TRUST", "GroupTC"),
+        ("As-Caida", "Email-EuAll", "Com-Dblp"),
+        max_blocks_simulated=4,
+    )
+
+
+class TestSpeedups:
+    def test_series_has_all_datasets(self, matrix):
+        s = speedup_series(matrix, "GroupTC", "Polak")
+        assert set(s) == set(matrix.datasets)
+
+    def test_self_speedup_is_one(self, matrix):
+        s = speedup_series(matrix, "Polak", "Polak")
+        assert all(v == pytest.approx(1.0) for v in s.values())
+
+    def test_summary_band(self, matrix):
+        summary = summarize_speedups(matrix, "GroupTC", "TRUST")
+        assert summary.min_speedup <= summary.max_speedup
+        assert summary.comparable == 3
+        assert 0 <= summary.wins <= 3
+        assert summary.band() == (summary.min_speedup, summary.max_speedup)
+
+    def test_win_count_sums_to_datasets(self, matrix):
+        counts = win_count(matrix)
+        assert sum(counts.values()) == len(matrix.datasets)
+
+
+class TestProfiling:
+    def test_regime_mean_geometric(self, matrix):
+        means = regime_mean(matrix, "sim_time_s")
+        assert set(means) == set(matrix.algorithms)
+        assert all(v > 0 for v in means.values())
+
+    def test_rank_ascending(self, matrix):
+        ranked = rank_algorithms(matrix, "sim_time_s")
+        means = regime_mean(matrix, "sim_time_s")
+        assert means[ranked[0]] <= means[ranked[-1]]
+
+    def test_rank_descending(self, matrix):
+        ranked = rank_algorithms(matrix, "warp_execution_efficiency", ascending=False)
+        means = regime_mean(matrix, "warp_execution_efficiency")
+        assert means[ranked[0]] >= means[ranked[-1]]
+
+    def test_correlation_positive(self, matrix):
+        r = time_work_correlation(matrix, "Polak")
+        assert not math.isnan(r)
+        assert r > 0.5  # memory-bound: time tracks requests
+
+    def test_correlation_needs_points(self):
+        tiny = run_matrix(("Polak",), ("As-Caida",), max_blocks_simulated=2)
+        assert math.isnan(time_work_correlation(tiny, "Polak"))

@@ -1,0 +1,118 @@
+"""Clustering-coefficient and k-truss applications."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import (
+    average_clustering,
+    edge_support,
+    global_clustering,
+    ktruss,
+    local_clustering,
+    max_truss,
+    triangles_per_vertex,
+    truss_numbers,
+)
+from repro.graph.generators import chung_lu, complete_graph, star, wheel
+
+
+class TestTrianglesPerVertex:
+    def test_k5_uniform(self):
+        assert (triangles_per_vertex(complete_graph(5)) == 6).all()
+
+    def test_wheel_hub(self):
+        tri = triangles_per_vertex(wheel(7))
+        assert tri[0] == 7
+        assert (tri[1:] == 2).all()
+
+    def test_sums_to_3x(self):
+        edges = chung_lu(50, 200, seed=1)
+        from repro.algorithms.cpu_reference import count_triangles_matrix
+
+        assert triangles_per_vertex(edges).sum() == 3 * count_triangles_matrix(edges)
+
+    def test_empty(self):
+        assert triangles_per_vertex([]).shape == (0,)
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert global_clustering(complete_graph(6)) == pytest.approx(1.0)
+        assert average_clustering(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        assert global_clustering(star(10)) == 0.0
+        assert average_clustering(star(10)) == 0.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        g = nx.gnm_random_graph(40, 160, seed=seed)
+        edges = np.array(list(g.edges()), dtype=np.int64)
+        ours = local_clustering(edges)
+        theirs = nx.clustering(g)
+        for v in range(40):
+            assert ours[v] == pytest.approx(theirs[v])
+        assert global_clustering(edges) == pytest.approx(nx.transitivity(g))
+
+    def test_empty(self):
+        assert global_clustering([]) == 0.0
+        assert average_clustering([]) == 0.0
+
+
+class TestEdgeSupport:
+    def test_k5_support(self):
+        _, sup = edge_support(complete_graph(5))
+        assert (sup == 3).all()
+
+    def test_wheel_support(self):
+        edges, sup = edge_support(wheel(6))
+        by_edge = dict(zip(map(tuple, edges.tolist()), sup.tolist()))
+        assert by_edge[(0, 1)] == 2  # spokes sit in two triangles
+        assert by_edge[(1, 2)] == 1  # rim edges in one
+
+    def test_triangle_free(self):
+        _, sup = edge_support(star(8))
+        assert (sup == 0).all()
+
+
+class TestKTruss:
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            ktruss(complete_graph(4), 1)
+
+    def test_2truss_is_input(self):
+        edges = chung_lu(30, 90, seed=2)
+        assert ktruss(edges, 2).shape[0] == edges.shape[0]
+
+    def test_k5_survives_to_5(self):
+        assert ktruss(complete_graph(5), 5).shape[0] == 10
+        assert ktruss(complete_graph(5), 6).shape[0] == 0
+
+    def test_peeling_cascade(self):
+        # K4 with a pendant triangle: the 4-truss is exactly the K4.
+        edges = np.array(
+            [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3], [3, 4], [3, 5], [4, 5]]
+        )
+        out = ktruss(edges, 4)
+        assert sorted(map(tuple, out.tolist())) == [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        ]
+
+    def test_matches_networkx(self):
+        g = nx.gnm_random_graph(40, 200, seed=3)
+        edges = np.array(list(g.edges()), dtype=np.int64)
+        for k in (3, 4, 5):
+            ours = ktruss(edges, k)
+            theirs = nx.k_truss(g, k)
+            assert ours.shape[0] == theirs.number_of_edges()
+
+    def test_max_truss(self):
+        assert max_truss(complete_graph(6)) == 6
+        assert max_truss(star(5)) == 2
+        assert max_truss([]) == 0
+
+    def test_truss_numbers_monotone(self):
+        tn = truss_numbers(chung_lu(40, 150, seed=4))
+        sizes = [tn[k] for k in sorted(tn)]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,92 @@
+"""Command-line front end."""
+
+import pytest
+
+from repro.framework.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_device_default(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.device == "sim-v100"
+
+    def test_figure_metric_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "nonsense"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        code, out = run(capsys, "table1")
+        assert code == 0
+        assert "TRUST" in out and "GroupTC" in out
+
+    def test_table2(self, capsys):
+        code, out = run(capsys, "table2")
+        assert code == 0
+        assert "Com-Friendster" in out
+
+    def test_count(self, capsys):
+        code, out = run(capsys, "--blocks", "4", "count", "As-Caida", "--algorithm", "Polak")
+        assert code == 0
+        assert "triangles" in out
+        assert "Polak" in out
+
+    def test_count_failure_exit_code(self, capsys):
+        code, out = run(capsys, "--blocks", "1", "count", "Com-Friendster", "--algorithm", "H-INDEX")
+        assert code == 1
+        assert "FAILED" in out
+
+    def test_figure(self, capsys):
+        code, out = run(
+            capsys,
+            "--blocks", "2",
+            "figure", "sim_time_s",
+            "--datasets", "As-Caida",
+            "--algorithms", "Polak,TRUST",
+        )
+        assert code == 0
+        assert "As-Caida" in out and "Polak" in out
+
+    def test_figure_csv(self, capsys):
+        code, out = run(
+            capsys,
+            "--blocks", "2",
+            "figure", "sim_time_s",
+            "--datasets", "As-Caida",
+            "--algorithms", "Polak",
+            "--csv",
+        )
+        assert code == 0
+        assert out.startswith("dataset,algorithm,status")
+
+    def test_speedup(self, capsys):
+        code, out = run(
+            capsys,
+            "--blocks", "2",
+            "speedup", "GroupTC",
+            "--baselines", "Polak",
+            "--datasets", "As-Caida",
+        )
+        assert code == 0
+        assert "speedup of GroupTC" in out
+
+    def test_sweep(self, capsys):
+        code, out = run(capsys, "--blocks", "2", "sweep", "GroupTC", "As-Caida", "chunk", "64,128")
+        assert code == 0
+        assert "<= best" in out
+
+    def test_id_ordering(self, capsys):
+        code, out = run(
+            capsys, "--blocks", "2", "--ordering", "id", "count", "As-Caida", "--algorithm", "Polak"
+        )
+        assert code == 0

@@ -1,0 +1,88 @@
+"""Cost model: regime behaviour of the counters-to-time mapping."""
+
+import pytest
+
+from repro.gpu import DEFAULT_COST_MODEL, SIM_V100, TESLA_V100, CostModel, ProfileMetrics, estimate_time
+
+
+def _metrics(**kw):
+    m = ProfileMetrics()
+    for k, v in kw.items():
+        setattr(m, k, v)
+    return m
+
+
+class TestRegimes:
+    def test_launch_overhead_floor(self):
+        m = _metrics(kernel_launches=1)
+        assert estimate_time(m, TESLA_V100) >= TESLA_V100.kernel_launch_overhead_s
+
+    def test_more_launches_cost_more(self):
+        a = _metrics(kernel_launches=1)
+        b = _metrics(kernel_launches=3)
+        assert estimate_time(b, TESLA_V100) > estimate_time(a, TESLA_V100)
+
+    def test_more_requests_cost_more(self):
+        a = _metrics(global_load_requests=1_000, warps_launched=64, kernel_launches=1)
+        b = _metrics(global_load_requests=1_000_000, warps_launched=64, kernel_launches=1)
+        assert estimate_time(b, TESLA_V100) > estimate_time(a, TESLA_V100)
+
+    def test_concurrency_hides_latency(self):
+        narrow = _metrics(global_load_requests=100_000, warps_launched=32, kernel_launches=1)
+        wide = _metrics(global_load_requests=100_000, warps_launched=5_000, kernel_launches=1)
+        assert estimate_time(wide, TESLA_V100) < estimate_time(narrow, TESLA_V100)
+
+    def test_dram_bandwidth_binds(self):
+        m = _metrics(
+            dram_sectors=1e9, warps_launched=1e6, kernel_launches=1
+        )
+        t = estimate_time(m, TESLA_V100)
+        expected = 1e9 * 32 / (900e9 * DEFAULT_COST_MODEL.achievable_bandwidth_fraction)
+        assert t >= expected
+
+    def test_divergence_inflates_time(self):
+        balanced = _metrics(warp_steps=1e6, active_lane_steps=32e6, warps_launched=1e4, kernel_launches=1)
+        divergent = _metrics(warp_steps=4e6, active_lane_steps=32e6, warps_launched=1e4, kernel_launches=1)
+        assert estimate_time(divergent, TESLA_V100) > estimate_time(balanced, TESLA_V100)
+
+    def test_l1_hits_cheaper_than_offcore(self):
+        hot = _metrics(
+            global_load_transactions=1e7, l1_hit_sectors=1e7, warps_launched=1e4, kernel_launches=1
+        )
+        cold = _metrics(
+            global_load_transactions=1e7, l1_hit_sectors=0, warps_launched=1e4, kernel_launches=1
+        )
+        assert estimate_time(hot, TESLA_V100) < estimate_time(cold, TESLA_V100)
+
+
+class TestPerLaunchCosting:
+    def test_launch_snapshots_summed(self):
+        a = _metrics(global_load_requests=10, warps_launched=32, kernel_launches=1)
+        b = _metrics(global_load_requests=10, warps_launched=32, kernel_launches=1)
+        acc = ProfileMetrics()
+        acc.merge(a)
+        acc.merge(b)
+        total = estimate_time(acc, TESLA_V100)
+        assert total == pytest.approx(
+            estimate_time(a, TESLA_V100) + estimate_time(b, TESLA_V100)
+        )
+
+
+class TestCustomModel:
+    def test_scaling_bandwidth_changes_time(self):
+        m = _metrics(dram_sectors=1e8, warps_launched=1e6, kernel_launches=1)
+        slow = CostModel(achievable_bandwidth_fraction=0.1)
+        fast = CostModel(achievable_bandwidth_fraction=1.0)
+        assert slow.kernel_time(m, TESLA_V100) > fast.kernel_time(m, TESLA_V100)
+
+    def test_scaled_device_slower(self):
+        m = _metrics(
+            global_load_requests=1e6,
+            global_load_transactions=8e6,
+            dram_sectors=8e6,
+            warps_launched=1e5,
+            warp_steps=1e6,
+            active_lane_steps=16e6,
+            kernel_launches=1,
+        )
+        assert estimate_time(m, SIM_V100) > estimate_time(m, TESLA_V100)

@@ -1,0 +1,118 @@
+"""CSRGraph structure and validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, clean_edges
+from repro.graph.generators import complete_graph, star
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)), min_size=1, max_size=50
+)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges([[0, 1], [0, 2], [1, 2]])
+        assert g.n == 3 and g.m == 3
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_from_edges_sorts_rows(self):
+        g = CSRGraph.from_edges([[0, 2], [0, 1]])
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_explicit_n_pads_isolated(self):
+        g = CSRGraph.from_edges([[0, 1]], n=5)
+        assert g.n == 5 and g.degree(4) == 0
+
+    def test_empty(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), n=3)
+        assert g.n == 3 and g.m == 0
+
+    def test_zero_vertex_graph(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64))
+        assert g.n == 0 and g.m == 0 and g.avg_degree == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_row_ptr_start(self):
+        with pytest.raises(ValueError):
+            CSRGraph(row_ptr=np.array([1, 2]), col=np.array([0, 0]))
+
+    def test_rejects_bad_row_ptr_end(self):
+        with pytest.raises(ValueError):
+            CSRGraph(row_ptr=np.array([0, 3]), col=np.array([0]))
+
+    def test_rejects_decreasing_row_ptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(row_ptr=np.array([0, 2, 1, 3]), col=np.array([0, 1, 2]))
+
+    def test_rejects_out_of_range_col(self):
+        with pytest.raises(ValueError):
+            CSRGraph(row_ptr=np.array([0, 1]), col=np.array([5]))
+
+    def test_rejects_unsorted_row(self):
+        with pytest.raises(ValueError):
+            CSRGraph(row_ptr=np.array([0, 2]), col=np.array([1, 0]))
+
+    def test_accepts_boundary_inversion(self):
+        # Row boundaries may "decrease" across rows; only intra-row order counts.
+        g = CSRGraph(row_ptr=np.array([0, 2, 3, 3]), col=np.array([1, 2, 0]))
+        assert g.neighbors(1).tolist() == [0]
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = CSRGraph.from_edges([[0, 1], [0, 2], [1, 2]])
+        assert g.degrees.tolist() == [2, 1, 0]
+        assert g.max_degree == 2
+
+    def test_has_edge(self):
+        g = CSRGraph.from_edges([[0, 1], [0, 5]], n=6)
+        assert g.has_edge(0, 5)
+        assert not g.has_edge(0, 3)
+        assert not g.has_edge(5, 0)
+
+    def test_edge_array_round_trip(self):
+        edges = clean_edges(complete_graph(5))
+        g = CSRGraph.from_edges(edges)
+        assert np.array_equal(g.edge_array(), edges)
+
+    def test_edge_sources(self):
+        g = CSRGraph.from_edges([[0, 1], [0, 2], [2, 0]])
+        assert g.edge_sources().tolist() == [0, 0, 2]
+
+    def test_is_oriented(self):
+        assert CSRGraph.from_edges(clean_edges(complete_graph(4))).is_oriented()
+        assert not CSRGraph.from_edges([[1, 0]]).is_oriented()
+
+    def test_memory_bytes(self):
+        g = CSRGraph.from_edges([[0, 1]])
+        assert g.memory_bytes() == (3 + 1) * 4
+        assert g.memory_bytes(itemsize=8) == (3 + 1) * 8
+
+    def test_star_degrees(self):
+        g = CSRGraph.from_edges(clean_edges(star(9)))
+        assert g.degree(0) == 8
+        assert g.avg_degree == pytest.approx(8 / 9)
+
+
+class TestProperties:
+    @given(edge_lists)
+    def test_row_slices_partition_col(self, pairs):
+        edges = clean_edges(pairs)
+        if edges.shape[0] == 0:
+            return
+        g = CSRGraph.from_edges(edges)
+        rebuilt = np.concatenate([g.neighbors(u) for u in range(g.n)])
+        assert np.array_equal(rebuilt, g.col)
+
+    @given(edge_lists)
+    def test_degree_sum_equals_m(self, pairs):
+        edges = clean_edges(pairs)
+        if edges.shape[0] == 0:
+            return
+        g = CSRGraph.from_edges(edges)
+        assert int(g.degrees.sum()) == g.m

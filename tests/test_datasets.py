@@ -1,0 +1,108 @@
+"""Table II dataset replicas."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    dataset_names,
+    get_spec,
+    load_edges,
+    load_oriented,
+    load_undirected,
+    scaled_edges,
+    size_class,
+)
+from repro.graph.stats import summarize_edges
+
+
+class TestRegistry:
+    def test_nineteen_datasets(self):
+        assert len(DATASETS) == 19
+
+    def test_table2_order_by_paper_edges(self):
+        sizes = [s.paper_edges for s in DATASETS]
+        assert sizes == sorted(sizes)
+
+    def test_names_match_table2(self):
+        names = dataset_names()
+        assert names[0] == "As-Caida"
+        assert names[-1] == "Com-Friendster"
+        assert "RoadNet-CA" in names and "Twitter" in names
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("wiki-talk").name == "Wiki-Talk"
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError):
+            get_spec("nope")
+
+
+class TestScaleMap:
+    def test_monotone(self):
+        assert scaled_edges(43_000) < scaled_edges(1_800_000_000)
+
+    def test_sublinear(self):
+        ratio_paper = 1_800_000_000 / 43_000
+        ratio_rep = scaled_edges(1_800_000_000) / scaled_edges(43_000)
+        assert ratio_rep < ratio_paper
+
+    def test_replica_order_preserved(self):
+        sizes = [s.replica_edges for s in DATASETS]
+        assert sizes == sorted(sizes)
+
+
+class TestSizeClass:
+    def test_small(self):
+        assert size_class("As-Caida") == "small"
+        assert size_class("Com-Dblp") == "small"
+
+    def test_large(self):
+        assert size_class("Wiki-Talk") == "large"
+        assert size_class("Com-Friendster") == "large"
+
+
+@pytest.mark.parametrize("name", ["As-Caida", "Com-Dblp", "RoadNet-CA"])
+class TestReplicaShape:
+    def test_avg_degree_close_to_table2(self, name):
+        spec = get_spec(name)
+        s = summarize_edges(load_edges(name))
+        assert s.avg_degree == pytest.approx(spec.paper_avg_degree, rel=0.45)
+
+    def test_edge_budget(self, name):
+        spec = get_spec(name)
+        s = summarize_edges(load_edges(name))
+        assert s.edges <= spec.replica_edges
+        assert s.edges >= 0.5 * spec.replica_edges
+
+    def test_memoised(self, name):
+        assert load_edges(name) is load_edges(name)
+
+
+class TestLoadOriented:
+    def test_default_degree_ordering(self):
+        g = load_oriented("As-Caida")
+        assert g.is_oriented()
+        assert g.meta["dataset"] == "As-Caida"
+
+    def test_paper_meta(self):
+        g = load_oriented("As-Caida")
+        assert g.meta["paper_n"] == 16_000
+        assert g.meta["paper_m"] == 43_000
+
+    def test_id_ordering(self):
+        g = load_oriented("As-Caida", "id")
+        assert g.is_oriented()
+
+    def test_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            load_oriented("As-Caida", "banana")
+
+    def test_same_count_both_orderings(self):
+        from repro.algorithms.cpu_reference import count_triangles_oriented
+
+        a = count_triangles_oriented(load_oriented("As-Caida", "degree"))
+        b = count_triangles_oriented(load_oriented("As-Caida", "id"))
+        assert a == b
+
+    def test_undirected_doubles_edges(self):
+        assert load_undirected("As-Caida").m == 2 * load_oriented("As-Caida").m

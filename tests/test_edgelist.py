@@ -1,0 +1,140 @@
+"""Edge-list cleaning (the paper's Section IV data preparation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.edgelist import (
+    as_edge_array,
+    clean_edges,
+    compact_vertices,
+    deduplicate_edges,
+    num_vertices,
+    remove_self_loops,
+    symmetrize_edges,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=0, max_size=60
+)
+
+
+class TestAsEdgeArray:
+    def test_empty(self):
+        assert as_edge_array([]).shape == (0, 2)
+
+    def test_list_of_pairs(self):
+        arr = as_edge_array([(1, 2), (3, 4)])
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [[1, 2], [3, 4]]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            as_edge_array([[1, 2, 3]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            as_edge_array([[-1, 2]])
+
+    def test_contiguous(self):
+        arr = as_edge_array(np.asarray([[1, 2], [3, 4]])[::1])
+        assert arr.flags["C_CONTIGUOUS"]
+
+
+class TestNumVertices:
+    def test_empty(self):
+        assert num_vertices([]) == 0
+
+    def test_max_plus_one(self):
+        assert num_vertices([[0, 7]]) == 8
+
+
+class TestSelfLoops:
+    def test_removes_loops(self):
+        out = remove_self_loops([[0, 0], [0, 1], [2, 2]])
+        assert out.tolist() == [[0, 1]]
+
+    def test_noop_without_loops(self):
+        out = remove_self_loops([[0, 1], [1, 2]])
+        assert out.shape == (2, 2)
+
+
+class TestDedup:
+    def test_undirected_merges_reversed(self):
+        out = deduplicate_edges([[1, 0], [0, 1], [0, 1]])
+        assert out.tolist() == [[0, 1]]
+
+    def test_directed_keeps_reversed(self):
+        out = deduplicate_edges([[1, 0], [0, 1]], directed=True)
+        assert out.shape[0] == 2
+
+    def test_canonicalises_min_max(self):
+        out = deduplicate_edges([[5, 2]])
+        assert out.tolist() == [[2, 5]]
+
+    def test_sorted_output(self):
+        out = deduplicate_edges([[3, 1], [0, 2], [1, 0]])
+        assert out.tolist() == sorted(out.tolist())
+
+    def test_empty(self):
+        assert deduplicate_edges([]).shape == (0, 2)
+
+
+class TestSymmetrize:
+    def test_both_directions(self):
+        out = symmetrize_edges([[0, 1]])
+        assert sorted(out.tolist()) == [[0, 1], [1, 0]]
+
+    def test_drops_self_loops_first(self):
+        out = symmetrize_edges([[0, 0], [0, 1]])
+        assert out.shape[0] == 2
+
+    def test_count_doubles(self):
+        out = symmetrize_edges([[0, 1], [1, 2], [0, 2]])
+        assert out.shape[0] == 6
+
+
+class TestCompact:
+    def test_removes_gaps(self):
+        new, old_ids = compact_vertices([[0, 5], [5, 9]])
+        assert new.max() == 2
+        assert old_ids.tolist() == [0, 5, 9]
+
+    def test_preserves_structure(self):
+        new, _ = compact_vertices([[0, 5], [5, 9]])
+        assert new.tolist() == [[0, 1], [1, 2]]
+
+    def test_empty(self):
+        new, old = compact_vertices([])
+        assert new.shape == (0, 2) and old.shape == (0,)
+
+
+class TestCleanEdges:
+    def test_full_pipeline(self):
+        out = clean_edges([[1, 0], [0, 1], [2, 2], [0, 2], [1, 2], [7, 7]])
+        assert out.tolist() == [[0, 1], [0, 2], [1, 2]]
+
+    def test_canonical_u_lt_v(self):
+        out = clean_edges([[9, 3], [4, 8]])
+        assert (out[:, 0] < out[:, 1]).all()
+
+    @given(edge_lists)
+    def test_idempotent(self, pairs):
+        once = clean_edges(pairs)
+        twice = clean_edges(once)
+        assert np.array_equal(once, twice)
+
+    @given(edge_lists)
+    def test_no_self_loops_or_dups(self, pairs):
+        out = clean_edges(pairs)
+        assert (out[:, 0] != out[:, 1]).all()
+        seen = {tuple(r) for r in out.tolist()}
+        assert len(seen) == out.shape[0]
+
+    @given(edge_lists)
+    def test_dense_ids(self, pairs):
+        out = clean_edges(pairs)
+        if out.shape[0]:
+            ids = np.unique(out)
+            assert ids[0] == 0 and ids[-1] == ids.shape[0] - 1

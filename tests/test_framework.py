@@ -1,0 +1,140 @@
+"""Unified testing framework: runner, matrix, report, sweeps."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.framework import (
+    ComparisonMatrix,
+    RunRecord,
+    best_config,
+    matrix_to_csv,
+    paper_scale_footprint,
+    render_figure_series,
+    render_speedups,
+    render_table1,
+    render_table2,
+    run_matrix,
+    run_one,
+    sweep_config,
+)
+from repro.gpu import TESLA_V100
+from repro.graph import load_oriented
+
+SMALL = ("As-Caida", "P2p-Gnutella31")
+
+
+@pytest.fixture(scope="module")
+def mini_matrix():
+    return run_matrix(("Polak", "TRUST", "GroupTC"), SMALL, max_blocks_simulated=4)
+
+
+class TestRunOne:
+    def test_ok_record(self):
+        rec = run_one("Polak", "As-Caida", max_blocks_simulated=4)
+        assert rec.ok
+        assert rec.status == "ok"
+        assert rec.triangles > 0
+        assert rec.sim_time_s > 0
+        assert rec.size_class == "small"
+        assert 0 < rec.warp_execution_efficiency <= 1
+
+    def test_instance_accepted(self):
+        rec = run_one(get_algorithm("Polak"), "As-Caida", max_blocks_simulated=4)
+        assert rec.ok
+
+    def test_red_cross_cell(self):
+        rec = run_one("H-INDEX", "Com-Friendster", max_blocks_simulated=1)
+        assert not rec.ok
+        assert rec.status == "failed"
+        assert "GB" in rec.error
+
+    def test_counts_match_reference(self):
+        from repro.algorithms.cpu_reference import count_triangles_oriented
+
+        rec = run_one("TRUST", "As-Caida", max_blocks_simulated=4)
+        assert rec.triangles == count_triangles_oriented(load_oriented("As-Caida"))
+
+    def test_footprint_positive(self):
+        fp = paper_scale_footprint(
+            get_algorithm("Polak"), "As-Caida", load_oriented("As-Caida"), TESLA_V100
+        )
+        # paper caida: (16K + 43K + 43K) * 4B ~ 400 KB
+        assert 100_000 < fp < 10_000_000
+
+
+class TestMatrix:
+    def test_shape(self, mini_matrix):
+        assert len(mini_matrix.records) == 6
+        assert mini_matrix.algorithms == ("Polak", "TRUST", "GroupTC")
+
+    def test_cell_lookup(self, mini_matrix):
+        rec = mini_matrix.cell("Polak", "As-Caida")
+        assert rec.algorithm == "Polak"
+        with pytest.raises(KeyError):
+            mini_matrix.cell("Polak", "Twitter")
+
+    def test_series_pivot(self, mini_matrix):
+        series = mini_matrix.series("sim_time_s")
+        assert set(series) == {"Polak", "TRUST", "GroupTC"}
+        assert len(series["Polak"]) == 2
+
+    def test_winners(self, mini_matrix):
+        winners = mini_matrix.winners()
+        assert set(winners) == set(SMALL)
+        assert all(w in mini_matrix.algorithms for w in winners.values())
+
+    def test_no_failures_on_small(self, mini_matrix):
+        assert mini_matrix.failures() == []
+
+
+class TestReport:
+    def test_table1_contains_all_rows(self):
+        text = render_table1()
+        for name in ("Polak", "TRUST", "GroupTC", "H-INDEX"):
+            assert name in text
+
+    def test_table2_lists_19(self):
+        text = render_table2(replica=False)
+        assert text.count("\n") >= 20
+        assert "Com-Friendster" in text
+
+    def test_figure_series_renders(self, mini_matrix):
+        text = render_figure_series(mini_matrix, "sim_time_s")
+        assert "running time" in text
+        assert "Polak" in text
+
+    def test_failed_cells_marked(self):
+        m = run_matrix(("H-INDEX",), ("Com-Friendster",), max_blocks_simulated=1)
+        text = render_figure_series(m, "sim_time_s")
+        assert "x" in text.split("H-INDEX")[1]
+
+    def test_speedups_table(self, mini_matrix):
+        text = render_speedups(mini_matrix, "GroupTC", ("Polak", "TRUST"))
+        assert "GroupTC" in text and "As-Caida" in text
+
+    def test_csv(self, mini_matrix):
+        csv = matrix_to_csv(mini_matrix)
+        lines = csv.strip().splitlines()
+        assert len(lines) == 7
+        assert lines[0].startswith("dataset,algorithm,status")
+
+
+class TestSweep:
+    def test_sweep_and_best(self):
+        points = sweep_config(
+            "GroupTC", "As-Caida", {"chunk": [64, 256]}, max_blocks_simulated=4
+        )
+        assert len(points) == 2
+        assert {p.config["chunk"] for p in points} == {64, 256}
+        best = best_config(points)
+        assert best.sim_time_s == min(p.sim_time_s for p in points)
+
+    def test_counts_invariant_across_configs(self):
+        points = sweep_config(
+            "TriCore", "As-Caida", {"cache_nodes": [0, 255]}, max_blocks_simulated=4
+        )
+        assert len({p.triangles for p in points}) == 1
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            best_config([])

@@ -1,0 +1,176 @@
+"""Synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import clean_edges
+from repro.graph.generators import (
+    barabasi_albert,
+    bipartite,
+    chung_lu,
+    complete_graph,
+    cycle,
+    erdos_renyi,
+    power_law_weights,
+    rmat,
+    road_lattice,
+    star,
+    wheel,
+)
+from repro.graph.stats import summarize_edges
+
+
+def _is_clean(edges):
+    return np.array_equal(edges, clean_edges(edges))
+
+
+class TestDeterministicFixtures:
+    def test_complete_edge_count(self):
+        assert complete_graph(10).shape[0] == 45
+
+    def test_star_shape(self):
+        e = star(8)
+        assert e.shape[0] == 7
+        assert (e[:, 0] == 0).all()
+
+    def test_cycle_wraps(self):
+        e = cycle(5)
+        assert e.shape[0] == 5
+
+    def test_cycle_too_small(self):
+        assert cycle(2).shape[0] == 0
+
+    def test_wheel_edges(self):
+        assert wheel(6).shape[0] == 12  # 6 spokes + 6 rim
+
+    def test_wheel_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            wheel(2)
+
+    def test_bipartite_triangle_free(self):
+        from repro.algorithms.cpu_reference import count_triangles_matrix
+
+        assert count_triangles_matrix(bipartite(5, 6)) == 0
+
+    def test_all_outputs_clean(self):
+        for e in (complete_graph(6), star(6), cycle(6), wheel(6), bipartite(3, 4)):
+            assert _is_clean(e)
+
+
+class TestPowerLawWeights:
+    def test_monotone_decreasing(self):
+        w = power_law_weights(100, 2.5)
+        assert (np.diff(w) <= 0).all()
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            power_law_weights(10, 1.0)
+
+    def test_empty(self):
+        assert power_law_weights(0, 2.0).shape == (0,)
+
+
+class TestChungLu:
+    def test_deterministic(self):
+        a = chung_lu(100, 400, seed=5)
+        b = chung_lu(100, 400, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = chung_lu(100, 400, seed=5)
+        b = chung_lu(100, 400, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_edge_target_roughly_met(self):
+        e = chung_lu(300, 1200, seed=0)
+        assert 0.9 * 1200 <= e.shape[0] <= 1200
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        heavy = summarize_edges(chung_lu(400, 1600, exponent=2.0, seed=1))
+        light = summarize_edges(chung_lu(400, 1600, exponent=3.5, seed=1))
+        assert heavy.max_degree > light.max_degree
+
+    def test_clean_output(self):
+        assert _is_clean(chung_lu(80, 300, seed=2))
+
+    def test_degenerate(self):
+        assert chung_lu(1, 10).shape[0] == 0
+        assert chung_lu(10, 0).shape[0] == 0
+
+
+class TestRMAT:
+    def test_deterministic(self):
+        assert np.array_equal(rmat(8, 500, seed=3), rmat(8, 500, seed=3))
+
+    def test_vertex_bound(self):
+        e = rmat(6, 300, seed=0)
+        assert e.max() < 64
+
+    def test_skew(self):
+        s = summarize_edges(rmat(9, 2000, a=0.7, b=0.1, c=0.1, seed=4))
+        assert s.degree_gini > 0.3
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            rmat(5, 100, a=0.8, b=0.2, c=0.2)
+
+    def test_clean_output(self):
+        assert _is_clean(rmat(7, 400, seed=1))
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        e = barabasi_albert(100, 3, seed=0)
+        # each of the 97 new vertices adds exactly 3 distinct edges (some
+        # may duplicate earlier ones only via the seed core)
+        assert e.shape[0] >= 3 * 90
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+    def test_preferential_attachment_creates_hubs(self):
+        s = summarize_edges(barabasi_albert(300, 2, seed=1))
+        assert s.max_degree > 10
+
+    def test_deterministic(self):
+        assert np.array_equal(barabasi_albert(50, 2, seed=9), barabasi_albert(50, 2, seed=9))
+
+
+class TestRoadLattice:
+    def test_grid_size(self):
+        e = road_lattice(10, shortcut_fraction=0.0)
+        assert e.shape[0] == 180  # 2 * side * (side - 1)
+
+    def test_no_shortcuts_is_triangle_free(self):
+        from repro.algorithms.cpu_reference import count_triangles_matrix
+
+        assert count_triangles_matrix(road_lattice(8, shortcut_fraction=0.0)) == 0
+
+    def test_shortcuts_add_triangles(self):
+        from repro.algorithms.cpu_reference import count_triangles_matrix
+
+        assert count_triangles_matrix(road_lattice(8, shortcut_fraction=1.0, seed=0)) > 0
+
+    def test_low_avg_degree(self):
+        s = summarize_edges(road_lattice(20, shortcut_fraction=0.05, seed=0))
+        assert s.avg_degree < 4.5
+
+    def test_tiny(self):
+        assert road_lattice(1).shape[0] == 0
+
+
+class TestErdosRenyi:
+    def test_exact_target_when_feasible(self):
+        e = erdos_renyi(50, 200, seed=0)
+        assert e.shape[0] == 200
+
+    def test_caps_at_complete(self):
+        e = erdos_renyi(5, 1000, seed=0)
+        assert e.shape[0] == 10
+
+    def test_near_uniform_degrees(self):
+        s = summarize_edges(erdos_renyi(200, 800, seed=1))
+        assert s.degree_gini < 0.3

@@ -1,0 +1,318 @@
+"""Warp-lockstep executor and kernel launch semantics."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    TESLA_V100,
+    GlobalMemory,
+    KernelConfigError,
+    ProfileMetrics,
+    launch_kernel,
+)
+from repro.gpu.coop import group_inclusive_scan, scan_tmp_words
+
+DEV = TESLA_V100
+
+
+def _gm():
+    return GlobalMemory(DEV)
+
+
+class TestCoalescing:
+    def test_coalesced_warp_load(self):
+        gm = _gm()
+        data = gm.alloc("d", np.arange(64))
+
+        def kern(ctx, data):
+            yield ("g", "x", data, ctx.tid)
+
+        m = launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(data,)).metrics
+        assert m.global_load_requests == 1
+        assert m.global_load_transactions == 4  # 32 lanes x 4B = 128B = 4 sectors
+
+    def test_scattered_warp_load(self):
+        gm = _gm()
+        data = gm.alloc("d", np.arange(32 * 8))
+
+        def kern(ctx, data):
+            yield ("g", "x", data, ctx.tid * 8)  # one sector per lane
+
+        m = launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(data,)).metrics
+        assert m.global_load_transactions == 32
+
+    def test_broadcast_load_single_sector(self):
+        gm = _gm()
+        data = gm.alloc("d", np.arange(8))
+
+        def kern(ctx, data):
+            yield ("g", "x", data, 0)
+
+        m = launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(data,)).metrics
+        assert m.global_load_transactions == 1
+
+
+class TestDivergence:
+    def test_uneven_work_lowers_efficiency(self):
+        gm = _gm()
+        data = gm.alloc("d", np.arange(1024))
+
+        def kern(ctx, data):
+            # lane k performs k+1 loads: classic workload imbalance
+            for i in range(ctx.lane + 1):
+                yield ("g", "x", data, ctx.tid + i)
+
+        m = launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(data,)).metrics
+        # mean active lanes = sum(1..32)/32 = 16.5 over 32 steps
+        assert m.warp_execution_efficiency == pytest.approx(16.5 / 32)
+
+    def test_uniform_work_full_efficiency(self):
+        gm = _gm()
+        data = gm.alloc("d", np.arange(64))
+
+        def kern(ctx, data):
+            yield ("g", "x", data, ctx.tid)
+            yield ("g", "y", data, ctx.tid)
+
+        m = launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(data,)).metrics
+        assert m.warp_execution_efficiency == 1.0
+
+    def test_branches_serialise(self):
+        gm = _gm()
+        data = gm.alloc("d", np.arange(64))
+
+        def kern(ctx, data):
+            if ctx.lane % 2:
+                yield ("g", "odd", data, ctx.tid)
+            else:
+                yield ("g", "even", data, ctx.tid)
+
+        m = launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(data,)).metrics
+        assert m.global_load_requests == 2  # two sites, one request each
+        assert m.warp_execution_efficiency == 0.5
+
+
+class TestValuesAndState:
+    def test_load_returns_value(self):
+        gm = _gm()
+        data = gm.alloc("d", np.array([7, 11]))
+        out = gm.zeros("o", 2)
+
+        def kern(ctx, data, out):
+            v = yield ("g", "x", data, ctx.tid)
+            yield ("gs", "w", out, ctx.tid, v * 2)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=2, args=(data, out))
+        assert out.data.tolist() == [14, 22]
+
+    def test_atomic_add_returns_old_and_serialises(self):
+        gm = _gm()
+        out = gm.zeros("o", 1)
+        olds = []
+
+        def kern(ctx, out):
+            old = yield ("ga", "acc", out, 0, 1)
+            olds.append(old)
+
+        m = launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(out,)).metrics
+        assert out.data[0] == 32
+        assert sorted(olds) == list(range(32))
+        assert m.atomic_requests == 1
+        assert m.atomic_transactions >= 32  # full serialisation on one address
+
+    def test_atomic_or(self):
+        gm = _gm()
+        out = gm.zeros("o", 1)
+
+        def kern(ctx, out):
+            yield ("go", "set", out, 0, 1 << ctx.lane)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=8, args=(out,))
+        assert out.data[0] == 0xFF
+
+    def test_shared_memory_round_trip(self):
+        gm = _gm()
+        out = gm.zeros("o", 32)
+
+        def kern(ctx, out):
+            yield ("ss", "st", ctx.lane, ctx.lane * 10)
+            yield ("w",)
+            v = yield ("s", "ld", 31 - ctx.lane)
+            yield ("gs", "w", out, ctx.tid, v)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(out,), shared_words=32)
+        assert out.data.tolist() == [(31 - i) * 10 for i in range(32)]
+
+    def test_shared_bank_conflicts_counted(self):
+        gm = _gm()
+
+        def conflict(ctx):
+            yield ("s", "x", ctx.lane * 32)  # all lanes hit bank 0
+
+        m = launch_kernel(DEV, conflict, grid_dim=1, block_dim=32, shared_words=1024).metrics
+        assert m.shared_load_transactions == 32
+        assert m.shared_load_requests == 1
+
+
+class TestBarriers:
+    def test_syncthreads_across_warps(self):
+        gm = _gm()
+        out = gm.zeros("o", 64)
+
+        def kern(ctx, out):
+            yield ("ss", "st", ctx.tid_in_block, ctx.tid_in_block)
+            yield ("y",)
+            v = yield ("s", "ld", 63 - ctx.tid_in_block)
+            yield ("gs", "w", out, ctx.tid, v)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=64, args=(out,), shared_words=64)
+        assert out.data.tolist() == [63 - i for i in range(64)]
+
+    def test_warp_sync_orders_producer_consumer(self):
+        gm = _gm()
+        out = gm.zeros("o", 32)
+
+        def kern(ctx, out):
+            # lane 0 produces after a variable-length delay; others consume.
+            if ctx.lane == 0:
+                for _ in range(5):
+                    yield ("a", 1)
+                yield ("ss", "st", 0, 99)
+            yield ("w",)
+            v = yield ("s", "ld", 0)
+            yield ("gs", "w", out, ctx.tid, v)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(out,), shared_words=1)
+        assert (out.data == 99).all()
+
+    def test_finished_warps_do_not_block_barrier(self):
+        gm = _gm()
+        out = gm.zeros("o", 1)
+
+        def kern(ctx, out):
+            if ctx.tid_in_block < 32:
+                return  # first warp exits immediately
+            yield ("y",)
+            yield ("ga", "acc", out, 0, 1)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=64, args=(out,))
+        assert out.data[0] == 32
+
+
+class TestCooperativePrimitives:
+    def test_warp_scan(self):
+        gm = _gm()
+        out = gm.zeros("o", 32)
+
+        def kern(ctx, out):
+            incl = yield ("sc", "s", ctx.lane + 1)
+            yield ("gs", "w", out, ctx.tid, incl)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(out,))
+        assert out.data.tolist() == [sum(range(1, k + 2)) for k in range(32)]
+
+    def test_scan_waits_for_stragglers(self):
+        gm = _gm()
+        out = gm.zeros("o", 32)
+
+        def kern(ctx, out):
+            if ctx.lane == 31:
+                for _ in range(7):
+                    yield ("a", 1)  # late arrival
+            incl = yield ("sc", "s", 1)
+            yield ("gs", "w", out, ctx.tid, incl)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(out,))
+        assert out.data.tolist() == list(range(1, 33))
+
+    def test_broadcast_exchange(self):
+        gm = _gm()
+        out = gm.zeros("o", 32)
+
+        def kern(ctx, out):
+            vals = yield ("bc", "x", ctx.lane * 2)
+            yield ("gs", "w", out, ctx.tid, vals[31 - ctx.lane])
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(out,))
+        assert out.data.tolist() == [(31 - k) * 2 for k in range(32)]
+
+    def test_group_inclusive_scan_warp(self):
+        gm = _gm()
+        out = gm.zeros("o", 32)
+
+        def kern(ctx, out):
+            incl, total = yield from group_inclusive_scan(ctx.lane, 32, 1, 0, ("w",))
+            yield ("gs", "w", out, ctx.tid, incl * 100 + total)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(out,), shared_words=1)
+        assert out.data.tolist() == [(k + 1) * 100 + 32 for k in range(32)]
+
+    def test_group_inclusive_scan_block(self):
+        gm = _gm()
+        width = 128
+        out = gm.zeros("o", width)
+
+        def kern(ctx, out):
+            incl, total = yield from group_inclusive_scan(
+                ctx.tid_in_block, width, 2, 0, ("y",)
+            )
+            yield ("gs", "w", out, ctx.tid, incl * 1000 + total)
+
+        launch_kernel(
+            DEV, kern, grid_dim=1, block_dim=width, args=(out,),
+            shared_words=scan_tmp_words(width),
+        )
+        assert out.data.tolist() == [(k + 1) * 2 * 1000 + 2 * width for k in range(width)]
+
+
+def _empty_kernel(ctx):
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+class TestLaunchConfig:
+    def test_rejects_bad_block(self):
+        with pytest.raises(KernelConfigError):
+            launch_kernel(DEV, _empty_kernel, grid_dim=1, block_dim=0)
+        with pytest.raises(KernelConfigError):
+            launch_kernel(DEV, _empty_kernel, grid_dim=1, block_dim=2048)
+
+    def test_rejects_negative_grid(self):
+        with pytest.raises(KernelConfigError):
+            launch_kernel(DEV, _empty_kernel, grid_dim=-1, block_dim=32)
+
+    def test_block_sampling_scales_counters(self):
+        gm = _gm()
+        data = gm.alloc("d", np.arange(32 * 100))
+
+        def kern(ctx, data):
+            yield ("g", "x", data, ctx.tid)
+
+        full = launch_kernel(DEV, kern, grid_dim=100, block_dim=32, args=(data,))
+        sampled = launch_kernel(
+            DEV, kern, grid_dim=100, block_dim=32, args=(data,), max_blocks_simulated=10
+        )
+        assert sampled.blocks_simulated == 10
+        assert sampled.metrics.global_load_requests == full.metrics.global_load_requests
+        assert sampled.sample_factor == pytest.approx(10.0)
+
+    def test_merge_into_accumulator(self):
+        gm = _gm()
+        data = gm.alloc("d", np.arange(32))
+        acc = ProfileMetrics()
+
+        def kern(ctx, data):
+            yield ("g", "x", data, ctx.tid)
+
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(data,), metrics=acc)
+        launch_kernel(DEV, kern, grid_dim=1, block_dim=32, args=(data,), metrics=acc)
+        assert acc.kernel_launches == 2
+        assert len(acc.launches) == 2
+
+    def test_warps_launched(self):
+        res = launch_kernel(DEV, _empty_kernel, grid_dim=3, block_dim=64)
+        assert res.metrics.warps_launched == 6
+
+    def test_zero_grid(self):
+        res = launch_kernel(DEV, _empty_kernel, grid_dim=0, block_dim=32)
+        assert res.metrics.warp_steps == 0

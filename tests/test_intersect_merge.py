@@ -1,0 +1,121 @@
+"""Merge intersection and GPU Merge Path partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.intersect.merge import (
+    merge_intersect,
+    merge_intersect_count,
+    merge_path_partition,
+    merge_path_search,
+    merge_steps,
+)
+
+sorted_sets = st.lists(st.integers(0, 60), max_size=30).map(
+    lambda xs: np.array(sorted(set(xs)), dtype=np.int64)
+)
+
+
+class TestMergeIntersect:
+    def test_basic(self):
+        out = merge_intersect([1, 3, 5], [3, 4, 5])
+        assert out.tolist() == [3, 5]
+
+    def test_disjoint(self):
+        assert merge_intersect_count([1, 2], [3, 4]) == 0
+
+    def test_identical(self):
+        assert merge_intersect_count([1, 2, 3], [1, 2, 3]) == 3
+
+    def test_empty_sides(self):
+        assert merge_intersect_count([], [1, 2]) == 0
+        assert merge_intersect_count([1], []) == 0
+
+    @given(sorted_sets, sorted_sets)
+    def test_matches_set_intersection(self, a, b):
+        expected = len(set(a.tolist()) & set(b.tolist()))
+        assert merge_intersect_count(a, b) == expected
+
+    @given(sorted_sets, sorted_sets)
+    def test_symmetric(self, a, b):
+        assert merge_intersect_count(a, b) == merge_intersect_count(b, a)
+
+
+class TestMergeSteps:
+    def test_bounded_by_sum(self):
+        a = np.arange(10)
+        b = np.arange(5, 15)
+        assert merge_steps(a, b) <= 20
+
+    def test_early_exit(self):
+        # b exhausted long before a
+        assert merge_steps(np.arange(100), np.array([0])) == 1
+
+    @given(sorted_sets, sorted_sets)
+    def test_steps_at_least_matches(self, a, b):
+        assert merge_steps(a, b) >= merge_intersect_count(a, b)
+
+
+class TestMergePathSearch:
+    def test_extremes(self):
+        a = np.array([1, 3])
+        b = np.array([2, 4])
+        assert merge_path_search(a, b, 0) == (0, 0)
+        assert merge_path_search(a, b, 4) == (2, 2)
+
+    def test_midpoint(self):
+        a = np.array([1, 3])
+        b = np.array([2, 4])
+        i, j = merge_path_search(a, b, 2)
+        assert i + j == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            merge_path_search(np.array([1]), np.array([2]), 3)
+
+    @given(sorted_sets, sorted_sets, st.integers(0, 100))
+    def test_cross_property(self, a, b, d):
+        d = d % (len(a) + len(b) + 1)
+        i, j = merge_path_search(a, b, d)
+        assert i + j == d
+        # merge-path invariant: everything consumed from a is <= everything
+        # not yet consumed from b, and vice versa (with the a-first tie rule)
+        if i > 0 and j < len(b):
+            assert a[i - 1] <= b[j]
+        if j > 0 and i < len(a):
+            assert b[j - 1] < a[i]
+
+
+class TestMergePathPartition:
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            merge_path_partition([1], [2], 0)
+
+    def test_slices_cover_inputs(self):
+        a = np.arange(0, 20, 2)
+        b = np.arange(1, 21, 2)
+        parts = merge_path_partition(a, b, 4)
+        assert parts[0][0] == 0 and parts[-1][1] == len(a)
+        assert parts[0][2] == 0 and parts[-1][3] == len(b)
+        for k in range(3):
+            assert parts[k][1] == parts[k + 1][0]
+            assert parts[k][3] == parts[k + 1][2]
+
+    @given(sorted_sets, sorted_sets, st.integers(1, 8))
+    def test_partitioned_count_is_exact(self, a, b, parts):
+        expected = merge_intersect_count(a, b)
+        total = sum(
+            merge_intersect_count(a[alo:ahi], b[blo:bhi])
+            for alo, ahi, blo, bhi in merge_path_partition(a, b, parts)
+        )
+        assert total == expected
+
+    @given(sorted_sets, sorted_sets, st.integers(1, 8))
+    def test_balanced_within_tolerance(self, a, b, parts):
+        total = len(a) + len(b)
+        for alo, ahi, blo, bhi in merge_path_partition(a, b, parts):
+            size = (ahi - alo) + (bhi - blo)
+            # The tie nudge can move one element across a boundary.
+            assert size <= total // parts + 2

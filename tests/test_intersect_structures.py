@@ -1,0 +1,201 @@
+"""Binary search, hash table, and bitmap intersection substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import oriented_csr
+from repro.graph.generators import chung_lu, complete_graph
+from repro.intersect.binsearch import (
+    batch_edge_intersection_counts,
+    batch_membership,
+    binary_search,
+    binary_search_probes,
+    binsearch_intersect_count,
+)
+from repro.intersect.bitmap import VertexBitmap
+from repro.intersect.hashtable import FixedBucketHashTable, bucket_of, collision_stats
+from repro.intersect.merge import merge_intersect_count
+
+sorted_sets = st.lists(st.integers(0, 80), max_size=40).map(
+    lambda xs: np.array(sorted(set(xs)), dtype=np.int64)
+)
+
+
+class TestBinarySearch:
+    def test_hit_and_miss(self):
+        arr = np.array([1, 4, 9])
+        assert binary_search(arr, 4)
+        assert not binary_search(arr, 5)
+        assert not binary_search(arr, 100)
+
+    def test_empty(self):
+        assert not binary_search(np.array([], dtype=np.int64), 1)
+
+    def test_probe_count_logarithmic(self):
+        arr = np.arange(1024)
+        _, probes = binary_search_probes(arr, 1023)
+        assert probes <= 11
+
+    def test_probe_returns_membership(self):
+        arr = np.array([2, 4, 6])
+        found, _ = binary_search_probes(arr, 4)
+        assert found
+        found, _ = binary_search_probes(arr, 5)
+        assert not found
+
+    @given(sorted_sets, sorted_sets)
+    def test_count_matches_merge(self, a, b):
+        assert binsearch_intersect_count(a, b) == merge_intersect_count(a, b)
+
+
+class TestBatchMembership:
+    def test_basic(self):
+        csr = oriented_csr(complete_graph(4))
+        rows = np.array([0, 0, 1])
+        keys = np.array([1, 0, 3])
+        hits = batch_membership(csr, rows, keys)
+        assert hits.tolist() == [True, False, True]
+
+    def test_empty(self):
+        csr = oriented_csr(complete_graph(3))
+        assert batch_membership(csr, np.array([], dtype=np.int64), np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_shape_mismatch(self):
+        csr = oriented_csr(complete_graph(3))
+        with pytest.raises(ValueError):
+            batch_edge_intersection_counts(csr, np.array([0]), np.array([0, 1]))
+
+
+class TestBatchEdgeCounts:
+    def test_k4(self):
+        csr = oriented_csr(complete_graph(4))
+        counts = batch_edge_intersection_counts(csr)
+        assert int(counts.sum()) == 4
+
+    def test_per_edge_values(self):
+        csr = oriented_csr(complete_graph(4))
+        counts = batch_edge_intersection_counts(csr)
+        # edge (0,1) has witnesses {2,3}; edges touching 3 have none beyond.
+        by_edge = dict(zip(map(tuple, csr.edge_array().tolist()), counts.tolist()))
+        assert by_edge[(0, 1)] == 2
+        assert by_edge[(2, 3)] == 0
+
+    @given(st.integers(0, 10_000))
+    def test_random_graph_matches_scalar(self, seed):
+        csr = oriented_csr(chung_lu(30, 90, seed=seed % 50))
+        counts = batch_edge_intersection_counts(csr)
+        esrc = csr.edge_sources()
+        for e in range(csr.m):
+            expected = merge_intersect_count(
+                csr.neighbors(int(esrc[e])), csr.neighbors(int(csr.col[e]))
+            )
+            assert counts[e] == expected
+
+
+class TestHashTable:
+    def test_build_and_probe(self):
+        t = FixedBucketHashTable([3, 35, 67, 8], 32)
+        assert t.contains(35)
+        assert not t.contains(36)
+        assert len(t) == 4
+
+    def test_collision_chain(self):
+        # 3, 35, 67 all hash to bucket 3 (mod 32)
+        t = FixedBucketHashTable([3, 35, 67], 32)
+        assert t.depth == 3
+        found, probes = t.probe(67)
+        assert found and probes == 3
+
+    def test_row_major_layout(self):
+        t = FixedBucketHashTable([3, 35, 4], 32)
+        assert t.slots[0, 3] == 3 and t.slots[1, 3] == 35 and t.slots[0, 4] == 4
+
+    def test_memory_words(self):
+        t = FixedBucketHashTable([1, 2, 3], 4)
+        assert t.memory_words() == 4 + t.slots.size
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            FixedBucketHashTable([1], 0)
+
+    def test_empty(self):
+        t = FixedBucketHashTable(np.array([], dtype=np.int64), 8)
+        assert not t.contains(1)
+        assert t.intersect_count([1, 2]) == 0
+
+    @given(sorted_sets, sorted_sets, st.sampled_from([4, 32, 64]))
+    def test_count_matches_merge(self, a, b, buckets):
+        t = FixedBucketHashTable(a, buckets)
+        assert t.intersect_count(b) == merge_intersect_count(a, b)
+
+    @given(sorted_sets, st.sampled_from([8, 32]))
+    def test_contains_many_consistent(self, a, buckets):
+        t = FixedBucketHashTable(a, buckets)
+        keys = np.arange(0, 90)
+        mask = t.contains_many(keys)
+        for k, hit in zip(keys.tolist(), mask.tolist()):
+            assert hit == (k in set(a.tolist()))
+
+    def test_total_probes_counts_scans(self):
+        t = FixedBucketHashTable([3, 35], 32)
+        # probing 67 (same bucket, missing) scans both slots
+        assert t.total_probes(np.array([67])) == 2
+
+
+class TestCollisionStats:
+    def test_empty(self):
+        assert collision_stats([], 32)["max_fill"] == 0
+
+    def test_worst_case(self):
+        stats = collision_stats([0, 32, 64, 96], 32)
+        assert stats["max_fill"] == 4
+
+    def test_bucket_of(self):
+        assert bucket_of([33], 32).tolist() == [1]
+
+
+class TestBitmap:
+    def test_set_test_clear(self):
+        bm = VertexBitmap(100)
+        bm.set(42)
+        assert bm.test(42)
+        bm.clear(42)
+        assert not bm.test(42)
+
+    def test_word_boundaries(self):
+        bm = VertexBitmap(70)
+        for v in (0, 31, 32, 63, 64, 69):
+            bm.set(v)
+            assert bm.test(v)
+        assert bm.popcount() == 6
+
+    def test_out_of_range(self):
+        bm = VertexBitmap(10)
+        with pytest.raises(IndexError):
+            bm.set(10)
+        with pytest.raises(IndexError):
+            bm.test_many(np.array([11]))
+
+    def test_set_many_clear_many(self):
+        bm = VertexBitmap(64)
+        bm.set_many([1, 2, 3, 40])
+        assert bm.popcount() == 4
+        bm.clear_many([2, 40])
+        assert bm.test(1) and not bm.test(2) and not bm.test(40)
+
+    def test_memory_words(self):
+        assert VertexBitmap(33).memory_words() == 2
+        assert VertexBitmap(32).memory_words() == 1
+
+    @given(sorted_sets, sorted_sets)
+    def test_count_matches_merge(self, a, b):
+        bm = VertexBitmap(100)
+        bm.set_many(a)
+        assert bm.intersect_count(b) == merge_intersect_count(a, b)
+
+    def test_duplicate_set_idempotent(self):
+        bm = VertexBitmap(16)
+        bm.set_many([5, 5, 5])
+        assert bm.popcount() == 1

@@ -1,0 +1,86 @@
+"""Graph serialisation round trips (the framework's format converters)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, clean_edges
+from repro.graph.generators import chung_lu, complete_graph
+from repro.graph.io import (
+    cached_edges,
+    read_binary_edges,
+    read_csr,
+    read_text_edges,
+    write_binary_edges,
+    write_csr,
+    write_text_edges,
+)
+
+
+@pytest.fixture
+def edges():
+    return clean_edges(chung_lu(40, 120, seed=1))
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path, edges):
+        p = tmp_path / "g.txt"
+        write_text_edges(p, edges)
+        assert np.array_equal(read_text_edges(p), edges)
+
+    def test_comments_skipped(self, tmp_path, edges):
+        p = tmp_path / "g.txt"
+        write_text_edges(p, edges, comment="SNAP-style header\nsecond line")
+        assert np.array_equal(read_text_edges(p), edges)
+
+    def test_empty(self, tmp_path):
+        p = tmp_path / "e.txt"
+        write_text_edges(p, [])
+        assert read_text_edges(p).shape == (0, 2)
+
+    def test_malformed_line(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("0 1\n42\n")
+        with pytest.raises(ValueError):
+            read_text_edges(p)
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path, edges):
+        p = tmp_path / "g.bin"
+        write_binary_edges(p, edges)
+        assert np.array_equal(read_binary_edges(p), edges)
+
+    def test_rejects_huge_ids(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_binary_edges(tmp_path / "x.bin", [[0, 2**31]])
+
+    def test_rejects_odd_file(self, tmp_path):
+        p = tmp_path / "odd.bin"
+        np.array([1, 2, 3], dtype="<i4").tofile(str(p))
+        with pytest.raises(ValueError):
+            read_binary_edges(p)
+
+
+class TestCSRFormat:
+    def test_round_trip(self, tmp_path):
+        g = CSRGraph.from_edges(clean_edges(complete_graph(6)))
+        p = tmp_path / "g.npz"
+        write_csr(p, g)
+        back = read_csr(p)
+        assert np.array_equal(back.row_ptr, g.row_ptr)
+        assert np.array_equal(back.col, g.col)
+
+
+class TestCache:
+    def test_builder_called_once(self, tmp_path, monkeypatch, edges):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return edges
+
+        a = cached_edges("k1", builder)
+        b = cached_edges("k1", builder)
+        assert len(calls) == 1
+        assert np.array_equal(a, b)

@@ -1,0 +1,109 @@
+"""Cross-layer property tests: the invariants that hold the system together."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.cpu_reference import (
+    count_triangles_matrix,
+    count_triangles_oriented,
+    per_edge_triangles,
+    per_vertex_triangles,
+)
+from repro.gpu import ProfileMetrics, SectorCache
+from repro.graph import clean_edges, orient_by_degree, orient_by_id
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 16), st.integers(0, 16)), min_size=0, max_size=50
+)
+permutable = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=40
+)
+
+
+class TestCountingInvariants:
+    @given(edge_lists)
+    @settings(max_examples=40)
+    def test_decompositions_sum_identically(self, pairs):
+        csr = orient_by_id(clean_edges(pairs))
+        total = count_triangles_oriented(csr)
+        assert int(per_edge_triangles(csr).sum()) == total
+        assert int(per_vertex_triangles(csr).sum()) == total
+
+    @given(permutable, st.randoms(use_true_random=False))
+    @settings(max_examples=30)
+    def test_vertex_relabelling_invariance(self, pairs, rng):
+        edges = clean_edges(pairs)
+        if edges.shape[0] == 0:
+            return
+        n = int(edges.max()) + 1
+        perm = list(range(n))
+        rng.shuffle(perm)
+        perm = np.array(perm)
+        relabelled = perm[edges]
+        assert count_triangles_matrix(edges) == count_triangles_matrix(relabelled)
+
+    @given(edge_lists)
+    @settings(max_examples=30)
+    def test_edge_duplication_harmless(self, pairs):
+        edges = clean_edges(pairs)
+        doubled = np.concatenate([edges, edges[::-1]], axis=0) if edges.shape[0] else edges
+        assert count_triangles_matrix(doubled) == count_triangles_matrix(edges)
+
+    @given(edge_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_simulated_polak_exact(self, pairs):
+        """The SIMT Polak kernel's device accumulator is exact on any graph."""
+        csr = orient_by_id(clean_edges(pairs))
+        r = get_algorithm("Polak").profile(csr)
+        assert r.device_triangles == count_triangles_oriented(csr)
+
+    @given(edge_lists)
+    @settings(max_examples=8, deadline=None)
+    def test_simulated_grouptc_exact(self, pairs):
+        csr = orient_by_degree(clean_edges(pairs))
+        r = get_algorithm("GroupTC").profile(csr)
+        assert r.device_triangles == count_triangles_oriented(csr)
+
+
+class TestMetricsAlgebra:
+    @given(st.floats(0.5, 4.0), st.floats(0.5, 4.0))
+    def test_scaling_composes(self, a, b):
+        m = ProfileMetrics(global_load_requests=100, warp_steps=50, active_lane_steps=800)
+        ab = m.scaled(a).scaled(b)
+        once = m.scaled(a * b)
+        assert abs(ab.global_load_requests - once.global_load_requests) < 1e-6
+        assert abs(ab.warp_steps - once.warp_steps) < 1e-6
+
+    @given(st.lists(st.integers(1, 100), min_size=0, max_size=20))
+    def test_merge_is_additive(self, request_counts):
+        total = ProfileMetrics()
+        for c in request_counts:
+            total.merge(ProfileMetrics(global_load_requests=c, kernel_launches=1))
+        assert total.global_load_requests == sum(request_counts)
+        assert total.kernel_launches == len(request_counts)
+
+    @given(st.floats(1.0, 10.0))
+    def test_efficiency_scale_invariant(self, f):
+        m = ProfileMetrics(warp_steps=100, active_lane_steps=1600)
+        assert m.scaled(f).warp_execution_efficiency == m.warp_execution_efficiency
+
+
+class TestCacheInvariants:
+    @given(st.lists(st.integers(0, 40), min_size=0, max_size=120), st.integers(1, 32))
+    def test_miss_count_bounded(self, accesses, capacity):
+        cache = SectorCache(capacity)
+        total_misses = 0
+        for s in accesses:
+            total_misses += len(cache.access([s]))
+        assert total_misses <= len(accesses)
+        assert total_misses >= len(set(accesses)) - capacity if accesses else True
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=30))
+    def test_fits_entirely_after_warmup(self, accesses):
+        cache = SectorCache(64)  # larger than the key space
+        for s in accesses:
+            cache.access([s])
+        for s in accesses:
+            assert cache.access([s]) == []
