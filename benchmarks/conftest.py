@@ -1,9 +1,16 @@
 """Shared state for the benchmark harness.
 
 The paper's figures all pivot one comparison matrix (9 algorithms x 19
-datasets); the session-scoped :func:`matrix` fixture computes it once.
-Sampling depth is tunable via ``REPRO_BENCH_BLOCKS`` (default 12); set
-``REPRO_BENCH_DATASETS`` to a comma-separated subset for quick runs.
+datasets); the session-scoped :func:`matrix` fixture computes it once,
+fanned over worker processes and backed by the on-disk replica cache
+(``.cache/``), so warm reruns skip graph generation entirely.
+
+Tunables (environment):
+
+* ``REPRO_BENCH_BLOCKS`` — block-sampling depth (default 12);
+* ``REPRO_BENCH_DATASETS`` — comma-separated dataset subset;
+* ``REPRO_BENCH_JOBS`` — matrix worker processes (default 0 = one per
+  core; set 1 to force the serial path).
 """
 
 from __future__ import annotations
@@ -27,10 +34,14 @@ def _blocks() -> int:
     return int(os.environ.get("REPRO_BENCH_BLOCKS", "12"))
 
 
+def _jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+
+
 @pytest.fixture(scope="session")
 def matrix():
     """The full Figures 11/12/13 comparison matrix (computed once)."""
-    return run_matrix(datasets=_datasets(), max_blocks_simulated=_blocks())
+    return run_matrix(datasets=_datasets(), max_blocks_simulated=_blocks(), jobs=_jobs())
 
 
 @pytest.fixture(scope="session")

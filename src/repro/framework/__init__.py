@@ -3,11 +3,13 @@
 * :mod:`~repro.framework.runner` — one (algorithm, dataset, device) cell,
   including paper-scale capacity checks (red-cross failures).
 * :mod:`~repro.framework.compare` — the full comparison matrix.
+* :mod:`~repro.framework.parallel` — process-pool fan-out for the matrix.
 * :mod:`~repro.framework.report` — Tables I/II and the figure series.
 * :mod:`~repro.framework.sweep` — configuration sweeps / ablations.
 """
 
-from .compare import ComparisonMatrix, run_matrix
+from .compare import ComparisonMatrix, metric_maximizes, run_matrix
+from .parallel import default_jobs, parallel_starmap, run_cells
 from .report import (
     matrix_to_csv,
     render_figure_series,
@@ -15,7 +17,13 @@ from .report import (
     render_table1,
     render_table2,
 )
-from .runner import DEFAULT_MAX_BLOCKS, RunRecord, paper_scale_footprint, run_one
+from .runner import (
+    DEFAULT_MAX_BLOCKS,
+    RunRecord,
+    paper_scale_footprint,
+    run_one,
+    run_one_safe,
+)
 from .sweep import SweepPoint, best_config, sweep_config
 
 __all__ = [
@@ -24,13 +32,18 @@ __all__ = [
     "RunRecord",
     "SweepPoint",
     "best_config",
+    "default_jobs",
     "matrix_to_csv",
+    "metric_maximizes",
     "paper_scale_footprint",
+    "parallel_starmap",
     "render_figure_series",
     "render_speedups",
     "render_table1",
     "render_table2",
+    "run_cells",
     "run_matrix",
     "run_one",
+    "run_one_safe",
     "sweep_config",
 ]

@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("degree", "id"),
         help="orientation pre-processing (Section II-B)",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for matrix/sweep commands (0 = one per core)",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="regenerate Table I (algorithm taxonomy)")
@@ -139,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
             device=device,
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
+            jobs=args.jobs,
         )
         print(matrix_to_csv(matrix) if args.csv else render_figure_series(matrix, args.metric))
         return 0
@@ -152,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
             device=device,
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
+            jobs=args.jobs,
         )
         print(render_speedups(matrix, args.subject, baselines))
         return 0
@@ -165,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
             device=device,
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
+            jobs=args.jobs,
         )
         best = best_config(points)
         print(f"sweep of {args.algorithm}.{args.key} on {args.dataset}:")

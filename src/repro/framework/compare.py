@@ -1,15 +1,16 @@
 """Full comparison matrix: algorithms x datasets (the paper's Figures 11-13).
 
 :func:`run_matrix` executes every cell through :func:`~repro.framework.
-runner.run_one` and returns the records in a :class:`ComparisonMatrix` that
-the report module and the benchmark harness pivot into the paper's tables
-and figure series.
+runner.run_one` — serially, or fanned out over worker processes via
+:mod:`repro.framework.parallel` when ``jobs != 1`` — and returns the
+records in a :class:`ComparisonMatrix` that the report module and the
+benchmark harness pivot into the paper's tables and figure series.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
 
 from ..algorithms.base import algorithm_names
 from ..gpu.costmodel import CostModel
@@ -17,7 +18,20 @@ from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
 from ..graph.datasets import dataset_names
 from .runner import DEFAULT_MAX_BLOCKS, RunRecord, run_one
 
-__all__ = ["ComparisonMatrix", "run_matrix"]
+__all__ = ["ComparisonMatrix", "MAXIMIZE_METRICS", "metric_maximizes", "run_matrix"]
+
+#: Metrics where *higher* is better; ``winners()`` flips its comparison for
+#: these (taking the minimum would crown the worst algorithm per dataset).
+MAXIMIZE_METRICS = frozenset({
+    "warp_execution_efficiency",
+    "l1_hit_rate",
+    "l2_hit_rate",
+})
+
+
+def metric_maximizes(metric: str) -> bool:
+    """Default optimisation direction of a metric name."""
+    return metric in MAXIMIZE_METRICS or metric.endswith(("efficiency", "hit_rate"))
 
 
 @dataclass(frozen=True)
@@ -27,12 +41,19 @@ class ComparisonMatrix:
     records: tuple[RunRecord, ...]
     algorithms: tuple[str, ...]
     datasets: tuple[str, ...]
+    #: O(1) cell lookup, built once; without it ``series()``/``winners()``
+    #: degrade to O((algs * datasets)^2) linear scans.
+    _index: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        index = {(r.algorithm, r.dataset): r for r in self.records}
+        object.__setattr__(self, "_index", index)
 
     def cell(self, algorithm: str, dataset: str) -> RunRecord:
-        for r in self.records:
-            if r.algorithm == algorithm and r.dataset == dataset:
-                return r
-        raise KeyError(f"no record for ({algorithm}, {dataset})")
+        try:
+            return self._index[(algorithm, dataset)]
+        except KeyError:
+            raise KeyError(f"no record for ({algorithm}, {dataset})") from None
 
     def series(self, metric: str) -> dict[str, list[float | None]]:
         """Pivot one metric into {algorithm: [value per dataset in order]}.
@@ -48,17 +69,26 @@ class ComparisonMatrix:
             out[alg] = row
         return out
 
-    def winners(self, metric: str = "sim_time_s") -> dict[str, str]:
-        """Per-dataset winner (lowest metric among successful runs)."""
+    def winners(self, metric: str = "sim_time_s", *, maximize: bool | None = None) -> dict[str, str]:
+        """Per-dataset winner among successful runs.
+
+        ``maximize`` defaults to the metric's natural direction: lowest
+        wins for times/transactions, highest wins for efficiency and
+        hit-rate metrics (see :data:`MAXIMIZE_METRICS`).
+        """
+        if maximize is None:
+            maximize = metric_maximizes(metric)
         out: dict[str, str] = {}
         for ds in self.datasets:
-            best = None
+            best: tuple[str, float] | None = None
             for alg in self.algorithms:
                 rec = self.cell(alg, ds)
                 if not rec.ok:
                     continue
                 val = getattr(rec, metric)
-                if val is not None and (best is None or val < best[1]):
+                if val is None:
+                    continue
+                if best is None or (val > best[1] if maximize else val < best[1]):
                     best = (alg, val)
             if best:
                 out[ds] = best[0]
@@ -78,19 +108,44 @@ def run_matrix(
     ordering: str = "degree",
     max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
     cost_model: CostModel | None = None,
+    jobs: int = 1,
     progress: bool = False,
+    progress_callback: Callable[[RunRecord, int, int], None] | None = None,
 ) -> ComparisonMatrix:
     """Run the (algorithms x datasets) comparison.
 
     Defaults reproduce the paper's configuration: all nine implementations
     over all nineteen Table II replicas on the scaled V100, with paper-scale
     capacity checks against the real V100.
+
+    ``jobs`` selects the execution strategy: ``1`` (default) runs the cells
+    serially in-process; ``0`` fans out over one worker process per CPU
+    core; any other value uses that many workers.  Record content and order
+    are identical either way — parallel execution is an implementation
+    detail of the same matrix.  ``progress_callback(record, done, total)``
+    fires as each cell completes.
     """
     algs = tuple(algorithms) if algorithms else tuple(algorithm_names())
     dsets = tuple(datasets) if datasets else tuple(dataset_names())
-    records: list[RunRecord] = []
-    for ds in dsets:
-        for alg in algs:
+    cells = [(alg, ds) for ds in dsets for alg in algs]
+
+    callbacks: list[Callable[[RunRecord, int, int], None]] = []
+    if progress_callback is not None:
+        callbacks.append(progress_callback)
+    if progress:  # pragma: no cover - console side effect
+        def _print_progress(rec: RunRecord, done: int, total: int) -> None:
+            status = f"{rec.sim_time_s * 1e3:9.3f} ms" if rec.ok else "   FAILED"
+            print(f"  [{done}/{total}] {rec.dataset:18s} {rec.algorithm:8s} {status}", flush=True)
+
+        callbacks.append(_print_progress)
+
+    def _notify(rec: RunRecord, done: int, total: int) -> None:
+        for cb in callbacks:
+            cb(rec, done, total)
+
+    if jobs == 1 or len(cells) <= 1:
+        records: list[RunRecord] = []
+        for alg, ds in cells:
             rec = run_one(
                 alg,
                 ds,
@@ -101,7 +156,18 @@ def run_matrix(
                 cost_model=cost_model,
             )
             records.append(rec)
-            if progress:  # pragma: no cover - console side effect
-                status = f"{rec.sim_time_s * 1e3:9.3f} ms" if rec.ok else "   FAILED"
-                print(f"  {ds:18s} {alg:8s} {status}", flush=True)
+            _notify(rec, len(records), len(cells))
+    else:
+        from .parallel import run_cells
+
+        records = run_cells(
+            cells,
+            jobs=jobs,
+            device=device,
+            capacity_device=capacity_device,
+            ordering=ordering,
+            max_blocks_simulated=max_blocks_simulated,
+            cost_model=cost_model,
+            progress_callback=_notify if callbacks else None,
+        )
     return ComparisonMatrix(records=tuple(records), algorithms=algs, datasets=dsets)

@@ -1,0 +1,218 @@
+"""Parallel comparison-matrix execution.
+
+The paper's headline artefact is the full 9-algorithm x 19-dataset matrix
+(Figures 11-13, 15); its 171 cells are embarrassingly parallel, and TRUST's
+multi-GPU scaling argument applies just as well to fanning simulator cells
+over CPU cores.  This module runs :func:`~repro.framework.runner.run_one`
+cells on a :class:`concurrent.futures.ProcessPoolExecutor` while keeping the
+serial path's contract exactly:
+
+* **deterministic ordering** — results come back in submission order, so a
+  parallel :func:`~repro.framework.compare.run_matrix` produces a record
+  tuple identical to the serial one;
+* **per-cell error capture** — a worker that raises (or a worker process
+  that dies outright) yields a ``status="failed"`` :class:`RunRecord` for
+  its cell, never a whole-matrix abort; cells stranded on a broken pool
+  are retried in isolated single-worker pools so only the true culprit
+  fails;
+* **no redundant generation** — the parent warms the on-disk replica cache
+  (see :mod:`repro.graph.io`) before fanning out, so workers load ``.npz``
+  bundles instead of re-running the graph generators.
+
+Incremental progress is reported through ``progress_callback(record, done,
+total)`` as futures complete (completion order), while the returned list is
+always in cell order.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+
+from ..gpu.costmodel import CostModel
+from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
+from ..graph.datasets import size_class, warm_cache
+from .runner import DEFAULT_MAX_BLOCKS, RunRecord, run_one_safe
+
+__all__ = ["default_jobs", "run_cells", "parallel_starmap"]
+
+#: Environment hook used by the test suite to simulate worker failures:
+#: ``"raise:ALG/DATASET"`` makes that cell's worker raise, ``"exit:ALG/
+#: DATASET"`` kills the worker process outright (the BrokenProcessPool
+#: path).  Unset in normal operation.
+CRASH_ENV = "REPRO_TEST_CRASH_CELL"
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is 0/None: one per CPU core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _resolve_jobs(jobs: int | None, n_items: int) -> int:
+    if not jobs:
+        jobs = default_jobs()
+    return max(1, min(int(jobs), n_items)) if n_items else 1
+
+
+def _safe_size_class(dataset: str) -> str:
+    try:
+        return size_class(dataset)
+    except KeyError:
+        return ""
+
+
+def _failed_record(algorithm, dataset: str, device: DeviceSpec, exc: BaseException) -> RunRecord:
+    name = algorithm if isinstance(algorithm, str) else getattr(algorithm, "name", str(algorithm))
+    return RunRecord(
+        algorithm=name,
+        dataset=dataset,
+        device=device.name,
+        status="failed",
+        error=f"{type(exc).__name__}: {exc}",
+        size_class=_safe_size_class(dataset),
+    )
+
+
+def _maybe_inject_crash(algorithm, dataset: str) -> None:
+    """Test-only failure injection (see :data:`CRASH_ENV`)."""
+    spec = os.environ.get(CRASH_ENV)
+    if not spec:
+        return
+    mode, sep, cell = spec.partition(":")
+    if not sep:
+        mode, cell = "raise", spec
+    target_alg, _, target_ds = cell.partition("/")
+    name = algorithm if isinstance(algorithm, str) else getattr(algorithm, "name", "")
+    if name != target_alg or dataset != target_ds:
+        return
+    if mode == "exit":
+        os._exit(17)  # simulate a hard worker death (segfault/OOM-kill)
+    raise RuntimeError(f"injected crash for cell ({name}, {dataset})")
+
+
+def _run_cell(
+    algorithm,
+    dataset: str,
+    device: DeviceSpec,
+    capacity_device: DeviceSpec,
+    ordering: str,
+    max_blocks_simulated: int | None,
+    cost_model: CostModel | None,
+) -> RunRecord:
+    """Worker entry point: one matrix cell, never raises."""
+    try:
+        _maybe_inject_crash(algorithm, dataset)
+        return run_one_safe(
+            algorithm,
+            dataset,
+            device=device,
+            capacity_device=capacity_device,
+            ordering=ordering,
+            max_blocks_simulated=max_blocks_simulated,
+            cost_model=cost_model,
+        )
+    except Exception as exc:
+        # run_one_safe already captures algorithm errors; this catches the
+        # injection hook and anything raised before run_one_safe is entered.
+        return _failed_record(algorithm, dataset, device, exc)
+
+
+def run_cells(
+    cells: Sequence[tuple[str, str]],
+    *,
+    jobs: int | None = None,
+    device: DeviceSpec = SIM_V100,
+    capacity_device: DeviceSpec = TESLA_V100,
+    ordering: str = "degree",
+    max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
+    cost_model: CostModel | None = None,
+    progress_callback: Callable[[RunRecord, int, int], None] | None = None,
+) -> list[RunRecord]:
+    """Execute ``(algorithm, dataset)`` cells, fanned over worker processes.
+
+    ``jobs=None`` (or 0) uses :func:`default_jobs`.  The returned list is in
+    ``cells`` order regardless of completion order.  Worker-side exceptions
+    and hard worker deaths both surface as ``status="failed"`` records for
+    the affected cells; the call itself never raises for a cell failure.
+    """
+    cells = list(cells)
+    total = len(cells)
+    if total == 0:
+        return []
+    jobs = _resolve_jobs(jobs, total)
+
+    common = (device, capacity_device, ordering, max_blocks_simulated, cost_model)
+
+    if jobs == 1:
+        records = []
+        for alg, ds in cells:
+            rec = _run_cell(alg, ds, *common)
+            records.append(rec)
+            if progress_callback is not None:
+                progress_callback(rec, len(records), total)
+        return records
+
+    # Generate every replica once in the parent: forked workers inherit the
+    # warm memory cache, spawned workers hit the disk cache.  Without this,
+    # workers would race to (re)build the same graphs.
+    warm_cache(sorted({ds for _, ds in cells}), orderings=(ordering,), strict=False)
+
+    results: list[RunRecord | None] = [None] * total
+    done = 0
+
+    def _finish(i: int, rec: RunRecord) -> None:
+        nonlocal done
+        results[i] = rec
+        done += 1
+        if progress_callback is not None:
+            progress_callback(rec, done, total)
+
+    # A worker that dies outright breaks the whole pool: its own future
+    # *and* every cell still queued get BrokenProcessPool, with no way to
+    # tell the culprit from innocent bystanders.  Those cells are deferred
+    # and retried one at a time in isolated single-worker pools — the
+    # deterministic crasher fails alone, collateral cells succeed, and the
+    # matrix always completes.
+    deferred: list[int] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_run_cell, alg, ds, *common): i
+            for i, (alg, ds) in enumerate(cells)
+        }
+        for fut in as_completed(futures):
+            i = futures[fut]
+            alg, ds = cells[i]
+            exc = fut.exception()
+            if isinstance(exc, BrokenExecutor):
+                deferred.append(i)
+            elif exc is not None:
+                _finish(i, _failed_record(alg, ds, device, exc))
+            else:
+                _finish(i, fut.result())
+    for i in sorted(deferred):
+        alg, ds = cells[i]
+        try:
+            with ProcessPoolExecutor(max_workers=1) as solo:
+                rec = solo.submit(_run_cell, alg, ds, *common).result()
+        except Exception as exc:
+            rec = _failed_record(alg, ds, device, exc)
+        _finish(i, rec)
+    return [r for r in results if r is not None]
+
+
+def parallel_starmap(fn, argtuples: Sequence[tuple], *, jobs: int | None = None) -> list:
+    """Ordered ``[fn(*args) for args in argtuples]`` over worker processes.
+
+    Generic helper for the sweep module and other fan-outs: ``fn`` must be
+    a picklable module-level callable.  Unlike :func:`run_cells`, worker
+    exceptions propagate — callers that want per-item capture should wrap
+    ``fn`` themselves.
+    """
+    argtuples = list(argtuples)
+    jobs = _resolve_jobs(jobs, len(argtuples))
+    if jobs == 1 or len(argtuples) <= 1:
+        return [fn(*args) for args in argtuples]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(fn, *args) for args in argtuples]
+        return [f.result() for f in futures]

@@ -19,7 +19,13 @@ from ..gpu.sharedmem import SharedMemoryOverflow
 from ..graph.csr import CSRGraph
 from ..graph.datasets import get_spec, load_oriented, size_class
 
-__all__ = ["RunRecord", "run_one", "paper_scale_footprint", "DEFAULT_MAX_BLOCKS"]
+__all__ = [
+    "RunRecord",
+    "run_one",
+    "run_one_safe",
+    "paper_scale_footprint",
+    "DEFAULT_MAX_BLOCKS",
+]
 
 #: default block-sampling budget per launch; keeps a full 9x19 matrix
 #: tractable while staying statistically representative for homogeneous
@@ -144,3 +150,31 @@ def run_one(
             "kernel_launches": m.kernel_launches,
         },
     )
+
+
+def run_one_safe(algorithm: str | TCAlgorithm, dataset: str, **kwargs) -> RunRecord:
+    """:func:`run_one`, but *any* exception becomes a failed record.
+
+    ``run_one`` only treats the paper's expected failure modes (device out
+    of memory, shared-memory overflow) as red-cross cells; everything else
+    propagates.  The parallel matrix executor needs the stronger guarantee
+    that one broken cell can never abort a 171-cell run, so its workers go
+    through this wrapper.
+    """
+    device: DeviceSpec = kwargs.get("device", SIM_V100)
+    try:
+        return run_one(algorithm, dataset, **kwargs)
+    except Exception as exc:
+        name = algorithm if isinstance(algorithm, str) else getattr(algorithm, "name", str(algorithm))
+        try:
+            regime = size_class(dataset)
+        except KeyError:
+            regime = ""
+        return RunRecord(
+            algorithm=name,
+            dataset=dataset,
+            device=getattr(device, "name", str(device)),
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            size_class=regime,
+        )

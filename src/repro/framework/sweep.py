@@ -33,6 +33,29 @@ class SweepPoint:
     triangles: int
 
 
+def _sweep_point(
+    algorithm: str,
+    dataset: str,
+    config: dict,
+    device: DeviceSpec,
+    ordering: str,
+    max_blocks_simulated: int | None,
+) -> SweepPoint:
+    """One grid point (module-level so worker processes can pickle it)."""
+    csr = load_oriented(dataset, ordering)
+    alg = get_algorithm(algorithm, **config)
+    result = alg.profile(
+        csr, device=device, max_blocks_simulated=max_blocks_simulated, dataset=dataset
+    )
+    return SweepPoint(
+        config=config,
+        sim_time_s=result.sim_time_s,
+        warp_execution_efficiency=result.metrics.warp_execution_efficiency,
+        global_load_requests=result.metrics.global_load_requests,
+        triangles=result.triangles,
+    )
+
+
 def sweep_config(
     algorithm: str,
     dataset: str,
@@ -41,32 +64,27 @@ def sweep_config(
     device: DeviceSpec = SIM_V100,
     ordering: str = "degree",
     max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Run ``algorithm`` on ``dataset`` for every combination in ``grid``.
 
     ``grid`` maps config keys (e.g. ``chunk`` for GroupTC, ``edges_per_warp``
     for TriCore) to candidate values.  Returns one :class:`SweepPoint` per
-    combination, in itertools.product order.
+    combination, in itertools.product order.  ``jobs != 1`` fans the grid
+    points over worker processes (``0`` = one per core); order is preserved.
     """
-    csr = load_oriented(dataset, ordering)
     keys = list(grid)
-    points: list[SweepPoint] = []
-    for values in itertools.product(*(grid[k] for k in keys)):
-        config = dict(zip(keys, values))
-        alg = get_algorithm(algorithm, **config)
-        result = alg.profile(
-            csr, device=device, max_blocks_simulated=max_blocks_simulated, dataset=dataset
-        )
-        points.append(
-            SweepPoint(
-                config=config,
-                sim_time_s=result.sim_time_s,
-                warp_execution_efficiency=result.metrics.warp_execution_efficiency,
-                global_load_requests=result.metrics.global_load_requests,
-                triangles=result.triangles,
-            )
-        )
-    return points
+    configs = [dict(zip(keys, values)) for values in itertools.product(*(grid[k] for k in keys))]
+    argtuples = [
+        (algorithm, dataset, config, device, ordering, max_blocks_simulated)
+        for config in configs
+    ]
+    if jobs == 1 or len(argtuples) <= 1:
+        return [_sweep_point(*args) for args in argtuples]
+    from .parallel import parallel_starmap
+
+    load_oriented(dataset, ordering)  # warm the shared replica cache once
+    return parallel_starmap(_sweep_point, argtuples, jobs=jobs)
 
 
 def best_config(points: Sequence[SweepPoint]) -> SweepPoint:

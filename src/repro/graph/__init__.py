@@ -15,6 +15,7 @@ from .datasets import (
     load_oriented,
     load_undirected,
     size_class,
+    warm_cache,
 )
 from .edgelist import (
     as_edge_array,
@@ -56,4 +57,5 @@ __all__ = [
     "summarize_edges",
     "symmetrize_edges",
     "undirected_csr",
+    "warm_cache",
 ]

@@ -22,11 +22,13 @@ The registry preserves Table II's row order, which the figures rely on.
 from __future__ import annotations
 
 import functools
+import types
 from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
+from . import io
 from . import generators as gen
 from .csr import CSRGraph
 from .orientation import orient_by_degree, orient_by_id, undirected_csr
@@ -40,21 +42,27 @@ __all__ = [
     "load_oriented",
     "load_undirected",
     "size_class",
+    "warm_cache",
+    "PAPER_SMALL_EDGE_THRESHOLD",
     "SMALL_EDGE_THRESHOLD",
     "scaled_edges",
 ]
 
 #: Paper regime boundary: Section I calls datasets under 2 M edges "small".
-#: Under the replica scale map this lands just above Amazon0601's replica.
 PAPER_SMALL_EDGE_THRESHOLD = 2_000_000
-
-#: Same boundary expressed in replica edge counts.
-SMALL_EDGE_THRESHOLD = 14_000
 
 
 def scaled_edges(paper_edges: int, *, coeff: float = 10.0, power: float = 0.497) -> int:
     """Map a Table II edge count to its replica edge count."""
     return int(round(coeff * paper_edges**power))
+
+
+#: The same boundary expressed in replica edge counts — *derived* from the
+#: scale map so it can never drift from :data:`PAPER_SMALL_EDGE_THRESHOLD`.
+#: Because the map is monotone, a replica is under this threshold exactly
+#: when its paper-scale original is under 2 M edges (between Com-Dblp's and
+#: Amazon0601's replicas).
+SMALL_EDGE_THRESHOLD = scaled_edges(PAPER_SMALL_EDGE_THRESHOLD)
 
 
 @dataclass(frozen=True)
@@ -166,10 +174,39 @@ def get_spec(name: str) -> DatasetSpec:
         raise KeyError(f"unknown dataset {name!r}; known: {dataset_names()}") from None
 
 
+def _freeze_csr(csr: CSRGraph, meta: dict) -> CSRGraph:
+    """Make a cached CSR safe to share between callers.
+
+    The memoised loaders below hand the *same* object to every caller in
+    the process; a mutable result would let one run corrupt all later ones.
+    The arrays are flagged read-only and ``meta`` becomes a mapping proxy,
+    so any accidental write raises instead of leaking.
+    """
+    csr.row_ptr.setflags(write=False)
+    csr.col.setflags(write=False)
+    object.__setattr__(csr, "meta", types.MappingProxyType(dict(meta)))
+    return csr
+
+
 @functools.lru_cache(maxsize=None)
 def load_edges(name: str) -> np.ndarray:
-    """Cleaned undirected edge array for a replica (memoised per process)."""
-    return get_spec(name).build()
+    """Cleaned undirected edge array for a replica.
+
+    Memoised per process *and* on disk (a versioned ``.npz`` under
+    :func:`repro.graph.io.cache_dir`), so repeated runs and parallel worker
+    processes load the replica instead of re-running the generator.  The
+    returned array is read-only — it is shared by every caller.
+    """
+    spec = get_spec(name)
+    key = io.cache_key("edges", spec.name, seed=spec.seed)
+    cached = io.load_cached_arrays(key)
+    if cached is not None and "edges" in cached:
+        edges = cached["edges"]
+    else:
+        edges = spec.build()
+        io.store_cached_arrays(key, edges=edges)
+    edges.setflags(write=False)
+    return edges
 
 
 @functools.lru_cache(maxsize=None)
@@ -183,28 +220,65 @@ def load_oriented(name: str, ordering: str = "degree") -> CSRGraph:
 
     The CSR's ``meta`` carries the paper-scale dimensions so capacity
     checks and shared-vs-global decisions (e.g. Bisson's bitmap placement)
-    can be made at the scale the paper ran.
+    can be made at the scale the paper ran.  The result is frozen
+    (read-only arrays, immutable meta) and disk-cached per
+    ``(dataset, ordering, seed, cache-version)``.
     """
-    edges = load_edges(name)
-    if ordering == "degree":
-        csr = orient_by_degree(edges)
-    elif ordering == "id":
-        csr = orient_by_id(edges)
-    else:
+    if ordering not in ("degree", "id"):
         raise ValueError(f"unknown ordering {ordering!r}")
     spec = get_spec(name)
-    csr.meta["dataset"] = name
-    csr.meta["paper_n"] = spec.paper_vertices
-    csr.meta["paper_m"] = spec.paper_edges
-    return csr
+    key = io.cache_key("csr", spec.name, ordering=ordering, seed=spec.seed)
+    cached = io.load_cached_arrays(key)
+    if cached is not None and "row_ptr" in cached and "col" in cached:
+        csr = CSRGraph(row_ptr=cached["row_ptr"], col=cached["col"])
+    else:
+        edges = load_edges(name)
+        csr = orient_by_degree(edges) if ordering == "degree" else orient_by_id(edges)
+        io.store_cached_arrays(key, row_ptr=csr.row_ptr, col=csr.col)
+    meta = {
+        "orientation": ordering,
+        "dataset": name,
+        "paper_n": spec.paper_vertices,
+        "paper_m": spec.paper_edges,
+    }
+    return _freeze_csr(csr, meta)
 
 
 @functools.lru_cache(maxsize=None)
 def load_undirected(name: str) -> CSRGraph:
     """Full symmetric CSR for a replica (used by vertex-degree heuristics)."""
-    csr = undirected_csr(load_edges(name))
-    csr.meta["dataset"] = name
-    return csr
+    spec = get_spec(name)
+    key = io.cache_key("und", spec.name, seed=spec.seed)
+    cached = io.load_cached_arrays(key)
+    if cached is not None and "row_ptr" in cached and "col" in cached:
+        csr = CSRGraph(row_ptr=cached["row_ptr"], col=cached["col"])
+    else:
+        csr = undirected_csr(load_edges(name))
+        io.store_cached_arrays(key, row_ptr=csr.row_ptr, col=csr.col)
+    return _freeze_csr(csr, {"dataset": name})
+
+
+def warm_cache(
+    names=None, *, orderings=("degree",), undirected: bool = False, strict: bool = True
+) -> None:
+    """Populate the in-process and on-disk caches for the given replicas.
+
+    The parallel matrix executor calls this in the parent before fanning
+    out so worker processes never race to generate the same replica: they
+    either inherit the warm memory cache (fork) or hit the disk cache
+    (spawn).  With ``strict=False`` unknown names are skipped — their
+    matrix cells fail individually instead of aborting the warm-up.
+    """
+    for name in names if names is not None else dataset_names():
+        try:
+            load_edges(name)
+            for ordering in orderings:
+                load_oriented(name, ordering)
+            if undirected:
+                load_undirected(name)
+        except KeyError:
+            if strict:
+                raise
 
 
 def size_class(name: str) -> str:

@@ -2,13 +2,16 @@
 
 The paper's unified testing framework ships converters between the formats
 the eight implementations consume: text edge lists, binary edge lists, and
-CSR dumps.  We reproduce all three, plus a memoising disk cache used by the
-benchmark harness so dataset replicas are generated once per machine.
+CSR dumps.  We reproduce all three, plus a versioned on-disk replica cache
+so dataset replicas and their oriented CSRs are generated once per machine
+and shared across processes — the parallel matrix executor's workers load
+graphs from here instead of re-running the generators.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -23,9 +26,19 @@ __all__ = [
     "read_binary_edges",
     "write_csr",
     "read_csr",
+    "CACHE_VERSION",
     "cache_dir",
+    "cache_key",
+    "disk_cache_enabled",
+    "load_cached_arrays",
+    "store_cached_arrays",
     "cached_edges",
 ]
+
+#: Bump whenever the generators, cleaning, or orientation code changes the
+#: bytes they produce for a given (dataset, ordering, seed) — stale cache
+#: entries are then never read again (the version is part of the file name).
+CACHE_VERSION = 1
 
 
 def write_text_edges(path, edges, *, comment: str | None = None) -> None:
@@ -85,18 +98,90 @@ def read_csr(path) -> CSRGraph:
 
 
 def cache_dir() -> Path:
-    """Directory for memoised dataset replicas (override via REPRO_CACHE_DIR)."""
-    root = os.environ.get("REPRO_CACHE_DIR", os.path.join(os.path.expanduser("~"), ".cache", "repro-tc"))
+    """Directory for memoised dataset replicas (override via REPRO_CACHE_DIR).
+
+    Defaults to a repo-local ``.cache/`` next to ``src/`` so benchmark runs,
+    the test suite, and CI jobs on the same checkout share one cache.
+    """
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        root = Path(__file__).resolve().parents[3] / ".cache"
     path = Path(root)
     path.mkdir(parents=True, exist_ok=True)
     return path
 
 
+def disk_cache_enabled() -> bool:
+    """False when ``REPRO_DISK_CACHE`` is set to ``0``/``off``/``false``."""
+    return os.environ.get("REPRO_DISK_CACHE", "1").lower() not in ("0", "off", "false", "no")
+
+
+def cache_key(kind: str, name: str, *, ordering: str = "", seed: int = 0,
+              version: int = CACHE_VERSION) -> str:
+    """Cache-file stem for one replica artefact.
+
+    ``kind`` distinguishes artefact shapes (``edges`` / ``csr`` / ``und``),
+    ``name`` is the dataset name, ``ordering`` the orientation ordering (for
+    CSRs), ``seed`` the generator seed, and ``version`` the cache schema —
+    bumping :data:`CACHE_VERSION` therefore invalidates every older file.
+    """
+    parts = [kind, name.lower()]
+    if ordering:
+        parts.append(ordering)
+    parts.append(f"s{seed}")
+    parts.append(f"v{version}")
+    return "-".join(parts)
+
+
+def load_cached_arrays(key: str) -> dict[str, np.ndarray] | None:
+    """Load the array bundle cached under ``key``; None on miss or corruption."""
+    if not disk_cache_enabled():
+        return None
+    path = cache_dir() / f"{key}.npz"
+    try:
+        with np.load(str(path)) as data:
+            return {k: data[k] for k in data.files}
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, EOFError):
+        # A torn or corrupted file (e.g. a crashed writer on an old numpy)
+        # behaves like a miss; the caller regenerates and overwrites it.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_cached_arrays(key: str, **arrays: np.ndarray) -> None:
+    """Atomically persist an array bundle under ``key``.
+
+    The bundle is written to a temporary file in the cache directory and
+    renamed into place, so concurrent workers racing to fill the same entry
+    never observe a half-written ``.npz``.
+    """
+    if not disk_cache_enabled():
+        return
+    directory = cache_dir()
+    path = directory / f"{key}.npz"
+    fd, tmp = tempfile.mkstemp(prefix=f".{key}.", suffix=".tmp", dir=str(directory))
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def cached_edges(key: str, builder) -> np.ndarray:
     """Disk-memoise ``builder()`` (an edge-array factory) under ``key``."""
-    path = cache_dir() / f"{key}.npy"
-    if path.exists():
-        return np.load(path)
+    cached = load_cached_arrays(key)
+    if cached is not None and "edges" in cached:
+        return cached["edges"]
     edges = as_edge_array(builder())
-    np.save(path, edges)
+    store_cached_arrays(key, edges=edges)
     return edges

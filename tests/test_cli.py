@@ -23,6 +23,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "nonsense"])
 
+    def test_jobs_default_serial(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.jobs == 1
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -80,8 +84,29 @@ class TestCommands:
         assert code == 0
         assert "speedup of GroupTC" in out
 
+    def test_figure_parallel_matches_serial(self, capsys):
+        argv = [
+            "--blocks", "2",
+            "figure", "sim_time_s",
+            "--datasets", "As-Caida,P2p-Gnutella31",
+            "--algorithms", "Polak,TRUST",
+            "--csv",
+        ]
+        code_s, out_s = run(capsys, *argv)
+        code_p, out_p = run(capsys, "--jobs", "2", *argv)
+        assert code_s == code_p == 0
+        assert out_p == out_s
+
     def test_sweep(self, capsys):
         code, out = run(capsys, "--blocks", "2", "sweep", "GroupTC", "As-Caida", "chunk", "64,128")
+        assert code == 0
+        assert "<= best" in out
+
+    def test_sweep_parallel(self, capsys):
+        code, out = run(
+            capsys, "--blocks", "2", "--jobs", "2",
+            "sweep", "GroupTC", "As-Caida", "chunk", "64,128",
+        )
         assert code == 0
         assert "<= best" in out
 

@@ -1,9 +1,12 @@
 """Table II dataset replicas."""
 
+import numpy as np
 import pytest
 
 from repro.graph.datasets import (
     DATASETS,
+    PAPER_SMALL_EDGE_THRESHOLD,
+    SMALL_EDGE_THRESHOLD,
     dataset_names,
     get_spec,
     load_edges,
@@ -11,6 +14,7 @@ from repro.graph.datasets import (
     load_undirected,
     scaled_edges,
     size_class,
+    warm_cache,
 )
 from repro.graph.stats import summarize_edges
 
@@ -60,6 +64,19 @@ class TestSizeClass:
         assert size_class("Wiki-Talk") == "large"
         assert size_class("Com-Friendster") == "large"
 
+    def test_replica_threshold_derived_from_paper_threshold(self):
+        """SMALL_EDGE_THRESHOLD must be the scale map's image of the paper
+        boundary — a hard-coded constant silently drifts when the map changes."""
+        assert SMALL_EDGE_THRESHOLD == scaled_edges(PAPER_SMALL_EDGE_THRESHOLD)
+
+    def test_thresholds_agree_on_every_dataset(self):
+        """The map is monotone, so the paper-scale and replica-scale regime
+        boundaries must classify all 19 datasets identically."""
+        for spec in DATASETS:
+            paper_small = spec.paper_edges < PAPER_SMALL_EDGE_THRESHOLD
+            replica_small = spec.replica_edges < SMALL_EDGE_THRESHOLD
+            assert paper_small == replica_small, spec.name
+
 
 @pytest.mark.parametrize("name", ["As-Caida", "Com-Dblp", "RoadNet-CA"])
 class TestReplicaShape:
@@ -106,3 +123,57 @@ class TestLoadOriented:
 
     def test_undirected_doubles_edges(self):
         assert load_undirected("As-Caida").m == 2 * load_oriented("As-Caida").m
+
+
+class TestSharedCacheSafety:
+    """The memoised loaders hand one object to every caller; regression
+    tests that a caller's mutation attempt can't corrupt later runs."""
+
+    def test_edges_are_read_only(self):
+        edges = load_edges("As-Caida")
+        with pytest.raises(ValueError):
+            edges[0, 0] = 99
+
+    def test_csr_arrays_are_read_only(self):
+        g = load_oriented("As-Caida")
+        with pytest.raises(ValueError):
+            g.col[0] = 99
+        with pytest.raises(ValueError):
+            g.row_ptr[0] = 99
+        u = load_undirected("As-Caida")
+        with pytest.raises(ValueError):
+            u.col[0] = 99
+
+    def test_meta_is_immutable(self):
+        g = load_oriented("As-Caida")
+        with pytest.raises(TypeError):
+            g.meta["paper_n"] = 0
+        with pytest.raises(TypeError):
+            del g.meta["dataset"]
+
+    def test_mutation_attempt_leaks_nothing(self):
+        g = load_oriented("P2p-Gnutella31")
+        before_col = g.col.copy()
+        before_meta = dict(g.meta)
+        try:
+            g.col[:] = 0
+        except ValueError:
+            pass
+        try:
+            g.meta["dataset"] = "evil"
+        except TypeError:
+            pass
+        again = load_oriented("P2p-Gnutella31")
+        assert again is g  # still the shared object
+        assert np.array_equal(again.col, before_col)
+        assert dict(again.meta) == before_meta
+
+    def test_warm_cache_idempotent(self):
+        warm_cache(["As-Caida"], undirected=True)
+        warm_cache(["As-Caida"], undirected=True)
+        assert load_oriented("As-Caida") is load_oriented("As-Caida")
+
+    def test_warm_cache_unknown_name(self):
+        with pytest.raises(KeyError):
+            warm_cache(["No-Such-Graph"])
+        warm_cache(["No-Such-Graph"], strict=False)  # skipped, no raise

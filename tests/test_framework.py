@@ -86,6 +86,61 @@ class TestMatrix:
     def test_no_failures_on_small(self, mini_matrix):
         assert mini_matrix.failures() == []
 
+    def test_cell_index_matches_linear_scan(self, mini_matrix):
+        """The O(1) index must agree with a brute-force scan for every cell."""
+        for rec in mini_matrix.records:
+            assert mini_matrix.cell(rec.algorithm, rec.dataset) is rec
+
+
+def _matrix_from_values(values):
+    """Tiny hand-built matrix: values[(alg, ds)] = (sim_time_s, warp_eff)."""
+    algs = tuple(sorted({a for a, _ in values}))
+    dsets = tuple(sorted({d for _, d in values}))
+    records = tuple(
+        RunRecord(
+            algorithm=a,
+            dataset=d,
+            device="sim",
+            status="ok",
+            sim_time_s=t,
+            warp_execution_efficiency=eff,
+        )
+        for (a, d), (t, eff) in values.items()
+    )
+    return ComparisonMatrix(records=records, algorithms=algs, datasets=dsets)
+
+
+class TestWinnersDirection:
+    """winners() must maximise efficiency-style metrics — taking the minimum
+    crowns the *worst* algorithm per dataset (the matrix-pivot bug)."""
+
+    matrix = None
+
+    @classmethod
+    def setup_class(cls):
+        cls.matrix = _matrix_from_values({
+            ("A", "ds"): (1.0, 0.9),   # fastest, most efficient
+            ("B", "ds"): (2.0, 0.2),   # slowest, least efficient
+        })
+
+    def test_time_still_minimised(self):
+        assert self.matrix.winners("sim_time_s") == {"ds": "A"}
+
+    def test_efficiency_maximised_by_default(self):
+        assert self.matrix.winners("warp_execution_efficiency") == {"ds": "A"}
+
+    def test_explicit_override(self):
+        assert self.matrix.winners("sim_time_s", maximize=True) == {"ds": "B"}
+        assert self.matrix.winners("warp_execution_efficiency", maximize=False) == {"ds": "B"}
+
+    def test_metric_direction_helper(self):
+        from repro.framework import metric_maximizes
+
+        assert metric_maximizes("warp_execution_efficiency")
+        assert metric_maximizes("l2_hit_rate")
+        assert not metric_maximizes("sim_time_s")
+        assert not metric_maximizes("gld_transactions_per_request")
+
 
 class TestReport:
     def test_table1_contains_all_rows(self):

@@ -6,10 +6,16 @@ import pytest
 from repro.graph import CSRGraph, clean_edges
 from repro.graph.generators import chung_lu, complete_graph
 from repro.graph.io import (
+    CACHE_VERSION,
+    cache_dir,
+    cache_key,
     cached_edges,
+    disk_cache_enabled,
+    load_cached_arrays,
     read_binary_edges,
     read_csr,
     read_text_edges,
+    store_cached_arrays,
     write_binary_edges,
     write_csr,
     write_text_edges,
@@ -84,3 +90,68 @@ class TestCache:
         b = cached_edges("k1", builder)
         assert len(calls) == 1
         assert np.array_equal(a, b)
+
+
+class TestReplicaDiskCache:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        self.dir = tmp_path
+
+    def test_round_trip(self, edges):
+        key = cache_key("edges", "Test-Graph", seed=7)
+        store_cached_arrays(key, edges=edges)
+        back = load_cached_arrays(key)
+        assert np.array_equal(back["edges"], edges)
+
+    def test_multi_array_bundle(self, edges):
+        key = cache_key("csr", "Test-Graph", ordering="degree", seed=7)
+        store_cached_arrays(key, row_ptr=edges[:, 0], col=edges[:, 1])
+        back = load_cached_arrays(key)
+        assert set(back) == {"row_ptr", "col"}
+
+    def test_miss_returns_none(self):
+        assert load_cached_arrays(cache_key("edges", "never-stored", seed=1)) is None
+
+    def test_version_bump_invalidates(self, edges):
+        """Bumping CACHE_VERSION must miss every file written under the old
+        version — the invalidation contract of the replica cache."""
+        old = cache_key("edges", "Test-Graph", seed=7, version=CACHE_VERSION)
+        store_cached_arrays(old, edges=edges)
+        bumped = cache_key("edges", "Test-Graph", seed=7, version=CACHE_VERSION + 1)
+        assert bumped != old
+        assert load_cached_arrays(bumped) is None
+        assert load_cached_arrays(old) is not None
+
+    def test_key_distinguishes_all_dimensions(self):
+        base = cache_key("csr", "G", ordering="degree", seed=1)
+        assert cache_key("csr", "G", ordering="id", seed=1) != base
+        assert cache_key("csr", "G", ordering="degree", seed=2) != base
+        assert cache_key("csr", "H", ordering="degree", seed=1) != base
+        assert cache_key("und", "G", ordering="degree", seed=1) != base
+
+    def test_corrupted_file_is_a_miss(self, edges):
+        key = cache_key("edges", "Corrupt", seed=1)
+        store_cached_arrays(key, edges=edges)
+        (self.dir / f"{key}.npz").write_bytes(b"not an npz at all")
+        assert load_cached_arrays(key) is None
+        # and the torn file was removed so the next store can heal it
+        store_cached_arrays(key, edges=edges)
+        assert load_cached_arrays(key) is not None
+
+    def test_atomic_store_leaves_no_temp_files(self, edges):
+        store_cached_arrays(cache_key("edges", "Atomic", seed=1), edges=edges)
+        leftovers = [p for p in self.dir.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_disable_switch(self, monkeypatch, edges):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        assert not disk_cache_enabled()
+        key = cache_key("edges", "Disabled", seed=1)
+        store_cached_arrays(key, edges=edges)
+        assert list(self.dir.iterdir()) == []
+        assert load_cached_arrays(key) is None
+
+    def test_cache_dir_env_override(self):
+        assert cache_dir() == self.dir
