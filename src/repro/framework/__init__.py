@@ -4,12 +4,25 @@
   including paper-scale capacity checks (red-cross failures).
 * :mod:`~repro.framework.compare` — the full comparison matrix.
 * :mod:`~repro.framework.parallel` — process-pool fan-out for the matrix.
+* :mod:`~repro.framework.resilience` — checkpoint/resume journal, cell
+  timeouts with degrading retries, validation & quarantine, chaos harness.
 * :mod:`~repro.framework.report` — Tables I/II and the figure series.
 * :mod:`~repro.framework.sweep` — configuration sweeps / ablations.
 """
 
 from .compare import ComparisonMatrix, metric_maximizes, run_matrix
 from .parallel import default_jobs, parallel_starmap, run_cells
+from .resilience import (
+    ChaosSpec,
+    RetryPolicy,
+    RunJournal,
+    chaos_from_env,
+    new_run_id,
+    parse_chaos,
+    run_cell_resilient,
+    run_cells_resilient,
+    validate_record,
+)
 from .report import (
     matrix_to_csv,
     render_figure_series,
@@ -28,22 +41,31 @@ from .sweep import SweepPoint, best_config, sweep_config
 
 __all__ = [
     "DEFAULT_MAX_BLOCKS",
+    "ChaosSpec",
     "ComparisonMatrix",
+    "RetryPolicy",
+    "RunJournal",
     "RunRecord",
     "SweepPoint",
     "best_config",
+    "chaos_from_env",
     "default_jobs",
     "matrix_to_csv",
     "metric_maximizes",
+    "new_run_id",
     "paper_scale_footprint",
     "parallel_starmap",
+    "parse_chaos",
     "render_figure_series",
     "render_speedups",
     "render_table1",
     "render_table2",
+    "run_cell_resilient",
     "run_cells",
+    "run_cells_resilient",
     "run_matrix",
     "run_one",
     "run_one_safe",
     "sweep_config",
+    "validate_record",
 ]

@@ -8,9 +8,14 @@ Mirrors how the paper's framework is driven from a shell::
     python -m repro.framework.cli figure sim_time_s --datasets As-Caida,Com-Dblp
     python -m repro.framework.cli speedup GroupTC --baselines Polak,TRUST
     python -m repro.framework.cli sweep GroupTC As-Caida chunk 64,128,256
+    python -m repro.framework.cli --run-id nightly --cell-timeout 120 \\
+        --validate figure sim_time_s
+    python -m repro.framework.cli --resume nightly figure sim_time_s
 
 All subcommands print to stdout; ``figure``/``speedup`` accept ``--csv``
-to dump the raw matrix instead of the formatted series.
+to dump the raw matrix instead of the formatted series.  The resilience
+flags (``--run-id``/``--resume``/``--cell-timeout``/``--validate``) route
+matrix commands through :mod:`repro.framework.resilience`.
 """
 
 from __future__ import annotations
@@ -77,6 +82,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for matrix/sweep commands (0 = one per core)",
     )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per matrix cell; over-budget cells are "
+        "killed and retried at a degraded block budget",
+    )
+    p.add_argument(
+        "--run-id",
+        default=None,
+        help="journal every completed cell under .cache/runs/<id>/ "
+        "(enables later --resume)",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume a journaled matrix run: skip its completed cells, "
+        "replay missing/failed ones",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="cross-check small/medium cells against the exact CPU "
+        "reference; mismatches are quarantined as status=invalid",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="regenerate Table I (algorithm taxonomy)")
@@ -138,6 +170,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"requests   : {rec.global_load_requests:.0f}")
         return 0
 
+    resilience_kwargs = dict(
+        run_id=args.run_id,
+        resume=args.resume,
+        cell_timeout=args.cell_timeout,
+        validate=args.validate,
+    )
+
     if args.command == "figure":
         matrix = run_matrix(
             _split(args.algorithms),
@@ -146,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
             jobs=args.jobs,
+            **resilience_kwargs,
         )
         print(matrix_to_csv(matrix) if args.csv else render_figure_series(matrix, args.metric))
         return 0
@@ -160,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
             jobs=args.jobs,
+            **resilience_kwargs,
         )
         print(render_speedups(matrix, args.subject, baselines))
         return 0

@@ -95,8 +95,16 @@ class ComparisonMatrix:
         return out
 
     def failures(self) -> list[RunRecord]:
-        """The red-cross cells."""
-        return [r for r in self.records if not r.ok]
+        """The red-cross cells: crashes, OOM, and exhausted timeouts."""
+        return [r for r in self.records if r.status == "failed"]
+
+    def degraded(self) -> list[RunRecord]:
+        """Cells that completed only at a timeout-reduced block budget."""
+        return [r for r in self.records if r.status == "degraded"]
+
+    def quarantined(self) -> list[RunRecord]:
+        """Cells quarantined by the cpu_reference cross-check."""
+        return [r for r in self.records if r.status == "invalid"]
 
 
 def run_matrix(
@@ -111,6 +119,11 @@ def run_matrix(
     jobs: int = 1,
     progress: bool = False,
     progress_callback: Callable[[RunRecord, int, int], None] | None = None,
+    run_id: str | None = None,
+    resume: str | None = None,
+    cell_timeout: float | None = None,
+    retry_policy=None,
+    validate: bool = False,
 ) -> ComparisonMatrix:
     """Run the (algorithms x datasets) comparison.
 
@@ -124,6 +137,16 @@ def run_matrix(
     are identical either way — parallel execution is an implementation
     detail of the same matrix.  ``progress_callback(record, done, total)``
     fires as each cell completes.
+
+    Any of ``run_id`` / ``resume`` / ``cell_timeout`` / ``retry_policy`` /
+    ``validate`` routes execution through the resilience layer
+    (:mod:`repro.framework.resilience`): ``run_id`` journals every
+    completed cell under ``.cache/runs/<run_id>/``; ``resume`` replays an
+    interrupted run, skipping its completed cells; ``cell_timeout`` (or a
+    full ``retry_policy``) kills over-budget cells and retries them at a
+    degraded block budget; ``validate`` cross-checks small/medium cells
+    against the exact CPU reference and quarantines mismatches as
+    ``status="invalid"``.
     """
     algs = tuple(algorithms) if algorithms else tuple(algorithm_names())
     dsets = tuple(datasets) if datasets else tuple(dataset_names())
@@ -134,7 +157,7 @@ def run_matrix(
         callbacks.append(progress_callback)
     if progress:  # pragma: no cover - console side effect
         def _print_progress(rec: RunRecord, done: int, total: int) -> None:
-            status = f"{rec.sim_time_s * 1e3:9.3f} ms" if rec.ok else "   FAILED"
+            status = f"{rec.sim_time_s * 1e3:9.3f} ms" if rec.ok else f"   {rec.status.upper()}"
             print(f"  [{done}/{total}] {rec.dataset:18s} {rec.algorithm:8s} {status}", flush=True)
 
         callbacks.append(_print_progress)
@@ -142,6 +165,55 @@ def run_matrix(
     def _notify(rec: RunRecord, done: int, total: int) -> None:
         for cb in callbacks:
             cb(rec, done, total)
+
+    resilient = (
+        run_id is not None
+        or resume is not None
+        or cell_timeout is not None
+        or retry_policy is not None
+        or validate
+    )
+    if resilient:
+        from .resilience import RetryPolicy, RunJournal, run_cells_resilient
+
+        if run_id is not None and resume is not None and run_id != resume:
+            raise ValueError(
+                f"pass either run_id or resume, not two different ids "
+                f"({run_id!r} vs {resume!r})"
+            )
+        rid = resume if resume is not None else run_id
+        journal = RunJournal(rid) if rid else None
+        completed = {}
+        if journal is not None:
+            journal.check_or_write_meta({
+                "algorithms": list(algs),
+                "datasets": list(dsets),
+                "ordering": ordering,
+                "max_blocks_simulated": max_blocks_simulated,
+                "device": device.name,
+                "capacity_device": capacity_device.name,
+                "validate": validate,
+            })
+            if resume is not None:
+                completed = journal.completed()
+        policy = retry_policy
+        if policy is None and cell_timeout is not None:
+            policy = RetryPolicy(cell_timeout_s=cell_timeout)
+        records = run_cells_resilient(
+            cells,
+            jobs=jobs,
+            device=device,
+            capacity_device=capacity_device,
+            ordering=ordering,
+            max_blocks_simulated=max_blocks_simulated,
+            cost_model=cost_model,
+            policy=policy,
+            validate=validate,
+            journal=journal,
+            completed=completed,
+            progress_callback=_notify if callbacks else None,
+        )
+        return ComparisonMatrix(records=tuple(records), algorithms=algs, datasets=dsets)
 
     if jobs == 1 or len(cells) <= 1:
         records: list[RunRecord] = []

@@ -26,69 +26,29 @@ always in cell order.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable, Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 
 from ..gpu.costmodel import CostModel
 from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
-from ..graph.datasets import size_class, warm_cache
-from .runner import DEFAULT_MAX_BLOCKS, RunRecord, run_one_safe
+from ..graph.datasets import warm_cache
+from .resilience import (
+    LEGACY_CRASH_ENV,
+    _failed_record,
+    _resolve_jobs,
+    default_jobs,
+    execute_cell,
+)
+from .runner import DEFAULT_MAX_BLOCKS, RunRecord
 
 __all__ = ["default_jobs", "run_cells", "parallel_starmap"]
 
-#: Environment hook used by the test suite to simulate worker failures:
-#: ``"raise:ALG/DATASET"`` makes that cell's worker raise, ``"exit:ALG/
+#: Legacy environment hook used by the test suite to simulate worker
+#: failures: ``"ALG/DATASET"`` makes that cell's worker raise, ``"exit:ALG/
 #: DATASET"`` kills the worker process outright (the BrokenProcessPool
-#: path).  Unset in normal operation.
-CRASH_ENV = "REPRO_TEST_CRASH_CELL"
-
-
-def default_jobs() -> int:
-    """Worker count used when ``jobs`` is 0/None: one per CPU core."""
-    return max(1, os.cpu_count() or 1)
-
-
-def _resolve_jobs(jobs: int | None, n_items: int) -> int:
-    if not jobs:
-        jobs = default_jobs()
-    return max(1, min(int(jobs), n_items)) if n_items else 1
-
-
-def _safe_size_class(dataset: str) -> str:
-    try:
-        return size_class(dataset)
-    except KeyError:
-        return ""
-
-
-def _failed_record(algorithm, dataset: str, device: DeviceSpec, exc: BaseException) -> RunRecord:
-    name = algorithm if isinstance(algorithm, str) else getattr(algorithm, "name", str(algorithm))
-    return RunRecord(
-        algorithm=name,
-        dataset=dataset,
-        device=device.name,
-        status="failed",
-        error=f"{type(exc).__name__}: {exc}",
-        size_class=_safe_size_class(dataset),
-    )
-
-
-def _maybe_inject_crash(algorithm, dataset: str) -> None:
-    """Test-only failure injection (see :data:`CRASH_ENV`)."""
-    spec = os.environ.get(CRASH_ENV)
-    if not spec:
-        return
-    mode, sep, cell = spec.partition(":")
-    if not sep:
-        mode, cell = "raise", spec
-    target_alg, _, target_ds = cell.partition("/")
-    name = algorithm if isinstance(algorithm, str) else getattr(algorithm, "name", "")
-    if name != target_alg or dataset != target_ds:
-        return
-    if mode == "exit":
-        os._exit(17)  # simulate a hard worker death (segfault/OOM-kill)
-    raise RuntimeError(f"injected crash for cell ({name}, {dataset})")
+#: path).  Generalised by the chaos API in
+#: :mod:`repro.framework.resilience` (``REPRO_CHAOS``); both are honoured.
+CRASH_ENV = LEGACY_CRASH_ENV
 
 
 def _run_cell(
@@ -101,21 +61,15 @@ def _run_cell(
     cost_model: CostModel | None,
 ) -> RunRecord:
     """Worker entry point: one matrix cell, never raises."""
-    try:
-        _maybe_inject_crash(algorithm, dataset)
-        return run_one_safe(
-            algorithm,
-            dataset,
-            device=device,
-            capacity_device=capacity_device,
-            ordering=ordering,
-            max_blocks_simulated=max_blocks_simulated,
-            cost_model=cost_model,
-        )
-    except Exception as exc:
-        # run_one_safe already captures algorithm errors; this catches the
-        # injection hook and anything raised before run_one_safe is entered.
-        return _failed_record(algorithm, dataset, device, exc)
+    return execute_cell(
+        algorithm,
+        dataset,
+        device=device,
+        capacity_device=capacity_device,
+        ordering=ordering,
+        max_blocks_simulated=max_blocks_simulated,
+        cost_model=cost_model,
+    )
 
 
 def run_cells(

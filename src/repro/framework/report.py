@@ -68,43 +68,86 @@ def render_table2(*, replica: bool = True) -> str:
     return out.getvalue()
 
 
+#: Markers for non-measurement cells: the paper's red cross for failures,
+#: ``!`` for counts quarantined by the cpu_reference cross-check.
+_STATUS_MARKS = {"failed": "x", "invalid": "!"}
+
+_FOOTNOTES = {
+    "degraded": "*  degraded: completed at a timeout-reduced block budget",
+    "invalid": "!  invalid: triangle count quarantined by cpu_reference cross-check",
+    "failed": "x  failed: crash, out-of-memory, or exhausted timeout (paper red cross)",
+}
+
+
+def _status_footnotes(records) -> str:
+    notes = [
+        text
+        for status, text in _FOOTNOTES.items()
+        if status != "failed" and any(r.status == status for r in records)
+    ]
+    return ("\n".join(notes) + "\n") if notes else ""
+
+
 def render_figure_series(matrix: ComparisonMatrix, metric: str) -> str:
     """One figure's data: rows = algorithms, columns = datasets in order.
 
-    Failed cells print ``x`` — the paper's red crosses.
+    Failed cells print ``x`` — the paper's red crosses.  Cells from the
+    resilience layer render distinctly instead of masquerading as either
+    red crosses or full-fidelity measurements: ``degraded`` cells keep
+    their (reduced-fidelity) value with a ``*`` marker, quarantined
+    ``invalid`` cells print ``!``; a footnote legend explains the markers.
     """
     title, scale, fmt = _METRIC_FORMATS.get(metric, (metric, 1.0, "{:10.4f}"))
-    series = matrix.series(metric)
     out = io.StringIO()
     out.write(f"{title} — datasets in Table II order\n")
-    width = max(len(fmt.format(0.0)), 10)
+    width = max(len(fmt.format(0.0)) + 1, 10)
     out.write(" " * 10 + "".join(f"{ds[:width - 1]:>{width}s}" for ds in matrix.datasets) + "\n")
     for alg in matrix.algorithms:
         out.write(f"{alg:10s}")
-        for val in series[alg]:
+        for ds in matrix.datasets:
+            rec = matrix.cell(alg, ds)
+            val = getattr(rec, metric) if rec.usable else None
             if val is None:
-                out.write(f"{'x':>{width}s}")
+                cell = _STATUS_MARKS.get(rec.status, "x")
             else:
-                out.write(f"{fmt.format(val * scale):>{width}s}")
+                cell = fmt.format(val * scale).strip()
+                if rec.status == "degraded":
+                    cell += "*"
+            out.write(f"{cell:>{width}s}")
         out.write("\n")
+    out.write(_status_footnotes(matrix.records))
     return out.getvalue()
 
 
 def render_speedups(matrix: ComparisonMatrix, subject: str, baselines: tuple[str, ...]) -> str:
-    """Figure 15 style summary: subject's speedup over each baseline."""
+    """Figure 15 style summary: subject's speedup over each baseline.
+
+    A ratio involving a ``degraded`` endpoint is marked ``*`` (it compares
+    reduced-fidelity time), one involving a quarantined ``invalid``
+    endpoint prints ``!``, and anything failed prints the red-cross ``x``.
+    """
     out = io.StringIO()
     out.write(f"speedup of {subject} (baseline time / {subject} time)\n")
     out.write(f"{'dataset':18s}" + "".join(f"{b:>12s}" for b in baselines) + "\n")
+    shown = []
     for ds in matrix.datasets:
         srec = matrix.cell(subject, ds)
+        shown.append(srec)
         out.write(f"{ds:18s}")
         for b in baselines:
             brec = matrix.cell(b, ds)
-            if srec.ok and brec.ok and srec.sim_time_s:
-                out.write(f"{brec.sim_time_s / srec.sim_time_s:12.2f}")
+            shown.append(brec)
+            if srec.usable and brec.usable and srec.sim_time_s and brec.sim_time_s:
+                cell = f"{brec.sim_time_s / srec.sim_time_s:.2f}"
+                if "degraded" in (srec.status, brec.status):
+                    cell += "*"
+            elif "invalid" in (srec.status, brec.status):
+                cell = "!"
             else:
-                out.write(f"{'x':>12s}")
+                cell = "x"
+            out.write(f"{cell:>12s}")
         out.write("\n")
+    out.write(_status_footnotes(shown))
     return out.getvalue()
 
 

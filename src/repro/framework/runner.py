@@ -9,6 +9,8 @@ simulation, and wraps everything in a :class:`RunRecord`.
 
 from __future__ import annotations
 
+import os
+import traceback
 from dataclasses import dataclass, field
 
 from ..algorithms.base import TCAlgorithm, get_algorithm
@@ -37,9 +39,12 @@ DEFAULT_MAX_BLOCKS = 16
 class RunRecord:
     """Outcome of one (algorithm, dataset, device) cell.
 
-    ``status`` is ``"ok"`` for a completed run, ``"failed"`` for the
+    ``status`` is ``"ok"`` for a completed run and ``"failed"`` for the
     paper's red-cross cases (device out of memory or an invalid kernel
-    configuration at paper scale).
+    configuration at paper scale) as well as crashes and exhausted
+    timeouts.  The resilience layer adds two more: ``"degraded"`` for a
+    run that succeeded only at a timeout-reduced block budget, and
+    ``"invalid"`` for a run quarantined by the cpu_reference cross-check.
     """
 
     algorithm: str
@@ -58,6 +63,16 @@ class RunRecord:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def usable(self) -> bool:
+        """True when the record carries real measurements.
+
+        ``degraded`` cells (timeout-reduced block sampling, see
+        :mod:`repro.framework.resilience`) are usable but must be rendered
+        distinctly; ``failed`` and quarantined ``invalid`` cells are not.
+        """
+        return self.status in ("ok", "degraded")
 
 
 def paper_scale_footprint(
@@ -83,8 +98,8 @@ def run_one(
     algorithm: str | TCAlgorithm,
     dataset: str,
     *,
-    device: DeviceSpec = SIM_V100,
-    capacity_device: DeviceSpec = TESLA_V100,
+    device: DeviceSpec | None = SIM_V100,
+    capacity_device: DeviceSpec | None = TESLA_V100,
     ordering: str = "degree",
     max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
     cost_model: CostModel | None = None,
@@ -98,11 +113,14 @@ def run_one(
     dataset:
         Table II dataset name (replica is generated/memoised on demand).
     device:
-        Simulation device (defaults to the replica-scaled V100).
+        Simulation device (``None`` or omitted: the replica-scaled V100).
     capacity_device:
         Device whose *real* memory bounds the paper-scale footprint check
-        (defaults to the full 16 GB V100, reproducing the paper's failures).
+        (``None`` or omitted: the full 16 GB V100, reproducing the paper's
+        failures).
     """
+    device = device if device is not None else SIM_V100
+    capacity_device = capacity_device if capacity_device is not None else TESLA_V100
     alg = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
     csr = load_oriented(dataset, ordering)
     regime = size_class(dataset)
@@ -152,6 +170,20 @@ def run_one(
     )
 
 
+def _traceback_tail(exc: BaseException) -> str:
+    """``[at file.py:NN in func]`` for the innermost frame of an exception.
+
+    Failed cells are usually diagnosed from the journal alone (the original
+    process — and its traceback — is long gone), so the error string must
+    carry enough of the traceback to locate the fault.
+    """
+    frames = traceback.extract_tb(exc.__traceback__)
+    if not frames:
+        return ""
+    last = frames[-1]
+    return f" [at {os.path.basename(last.filename)}:{last.lineno} in {last.name}]"
+
+
 def run_one_safe(algorithm: str | TCAlgorithm, dataset: str, **kwargs) -> RunRecord:
     """:func:`run_one`, but *any* exception becomes a failed record.
 
@@ -159,9 +191,11 @@ def run_one_safe(algorithm: str | TCAlgorithm, dataset: str, **kwargs) -> RunRec
     of memory, shared-memory overflow) as red-cross cells; everything else
     propagates.  The parallel matrix executor needs the stronger guarantee
     that one broken cell can never abort a 171-cell run, so its workers go
-    through this wrapper.
+    through this wrapper.  The failed record names the *resolved* device
+    (even when ``device`` was omitted or ``None``) and the innermost
+    traceback frame, so a journaled failure is diagnosable on its own.
     """
-    device: DeviceSpec = kwargs.get("device", SIM_V100)
+    device: DeviceSpec = kwargs.get("device") or SIM_V100
     try:
         return run_one(algorithm, dataset, **kwargs)
     except Exception as exc:
@@ -175,6 +209,6 @@ def run_one_safe(algorithm: str | TCAlgorithm, dataset: str, **kwargs) -> RunRec
             dataset=dataset,
             device=getattr(device, "name", str(device)),
             status="failed",
-            error=f"{type(exc).__name__}: {exc}",
+            error=f"{type(exc).__name__}: {exc}{_traceback_tail(exc)}",
             size_class=regime,
         )

@@ -159,6 +159,17 @@ class CSRGraph:
             return True
         return bool(np.all(self.edge_sources() < self.col))
 
+    def has_self_loops(self) -> bool:
+        """True if any stored edge is ``(u, u)``.
+
+        Cleaned replicas never contain self-loops; the dataset loaders use
+        this to reject corrupt cached bundles (a self-loop would be counted
+        as a spurious triangle by several kernels).
+        """
+        if self.m == 0:
+            return False
+        return bool(np.any(self.edge_sources() == self.col))
+
     def memory_bytes(self, itemsize: int = 4) -> int:
         """Device-memory footprint of the CSR arrays at ``itemsize`` bytes.
 

@@ -174,6 +174,31 @@ def get_spec(name: str) -> DatasetSpec:
         raise KeyError(f"unknown dataset {name!r}; known: {dataset_names()}") from None
 
 
+def _cached_csr(key: str, *, oriented: bool) -> CSRGraph | None:
+    """Rebuild a CSR from a cached bundle, or ``None`` when it must be regenerated.
+
+    Structural invariants are enforced on load: :class:`CSRGraph` itself
+    validates the indptr (monotone, 0-anchored), index ranges, and row
+    sortedness; on top of that an *oriented* bundle must satisfy the
+    ``u < v`` storage contract (which also excludes self-loops) and an
+    undirected one must be self-loop free.  A bundle that fails any check
+    — bit rot that survived the CRC, or a bundle written by buggy code —
+    is dropped and treated as a miss, never handed to the kernels.
+    """
+    cached = io.load_cached_arrays(key)
+    if cached is None or "row_ptr" not in cached or "col" not in cached:
+        return None
+    try:
+        csr = CSRGraph(row_ptr=cached["row_ptr"], col=cached["col"])
+    except ValueError:
+        io.drop_cached_arrays(key)
+        return None
+    if (oriented and not csr.is_oriented()) or (not oriented and csr.has_self_loops()):
+        io.drop_cached_arrays(key)
+        return None
+    return csr
+
+
 def _freeze_csr(csr: CSRGraph, meta: dict) -> CSRGraph:
     """Make a cached CSR safe to share between callers.
 
@@ -228,10 +253,8 @@ def load_oriented(name: str, ordering: str = "degree") -> CSRGraph:
         raise ValueError(f"unknown ordering {ordering!r}")
     spec = get_spec(name)
     key = io.cache_key("csr", spec.name, ordering=ordering, seed=spec.seed)
-    cached = io.load_cached_arrays(key)
-    if cached is not None and "row_ptr" in cached and "col" in cached:
-        csr = CSRGraph(row_ptr=cached["row_ptr"], col=cached["col"])
-    else:
+    csr = _cached_csr(key, oriented=True)
+    if csr is None:
         edges = load_edges(name)
         csr = orient_by_degree(edges) if ordering == "degree" else orient_by_id(edges)
         io.store_cached_arrays(key, row_ptr=csr.row_ptr, col=csr.col)
@@ -249,10 +272,8 @@ def load_undirected(name: str) -> CSRGraph:
     """Full symmetric CSR for a replica (used by vertex-degree heuristics)."""
     spec = get_spec(name)
     key = io.cache_key("und", spec.name, seed=spec.seed)
-    cached = io.load_cached_arrays(key)
-    if cached is not None and "row_ptr" in cached and "col" in cached:
-        csr = CSRGraph(row_ptr=cached["row_ptr"], col=cached["col"])
-    else:
+    csr = _cached_csr(key, oriented=False)
+    if csr is None:
         csr = undirected_csr(load_edges(name))
         io.store_cached_arrays(key, row_ptr=csr.row_ptr, col=csr.col)
     return _freeze_csr(csr, {"dataset": name})

@@ -27,6 +27,22 @@ class TestParser:
         args = build_parser().parse_args(["table1"])
         assert args.jobs == 1
 
+    def test_resilience_flags_default_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.cell_timeout is None
+        assert args.run_id is None
+        assert args.resume is None
+        assert args.validate is False
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--cell-timeout", "2.5", "--run-id", "nightly", "--validate",
+             "figure", "sim_time_s"]
+        )
+        assert args.cell_timeout == 2.5
+        assert args.run_id == "nightly"
+        assert args.validate is True
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -109,6 +125,21 @@ class TestCommands:
         )
         assert code == 0
         assert "<= best" in out
+
+    def test_figure_journal_and_resume(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = [
+            "--blocks", "2",
+            "figure", "sim_time_s",
+            "--datasets", "As-Caida",
+            "--algorithms", "Polak,TRUST",
+        ]
+        code, out = run(capsys, "--run-id", "cli-test", "--validate", *argv)
+        assert code == 0
+        assert (tmp_path / "runs" / "cli-test" / "journal.jsonl").exists()
+        code2, out2 = run(capsys, "--resume", "cli-test", "--validate", *argv)
+        assert code2 == 0
+        assert out2 == out
 
     def test_id_ordering(self, capsys):
         code, out = run(

@@ -61,6 +61,30 @@ class TestRunOne:
         # paper caida: (16K + 43K + 43K) * 4B ~ 400 KB
         assert 100_000 < fp < 10_000_000
 
+    def test_device_none_resolves_to_default(self):
+        rec = run_one("Polak", "As-Caida", device=None, capacity_device=None,
+                      max_blocks_simulated=4)
+        assert rec.ok
+        assert rec.device == run_one("Polak", "As-Caida", max_blocks_simulated=4).device
+
+
+class TestRunOneSafe:
+    def test_error_carries_traceback_tail(self):
+        from repro.framework import run_one_safe
+
+        rec = run_one_safe("Polak", "No-Such-Graph", max_blocks_simulated=4)
+        assert rec.status == "failed"
+        assert rec.error.startswith("KeyError:")
+        # the innermost frame, so a journaled failure is locatable on its own
+        assert "[at datasets.py:" in rec.error
+
+    def test_failed_record_names_resolved_device(self):
+        from repro.framework import run_one_safe
+        from repro.gpu import SIM_V100
+
+        rec = run_one_safe("Polak", "No-Such-Graph", device=None)
+        assert rec.device == SIM_V100.name
+
 
 class TestMatrix:
     def test_shape(self, mini_matrix):
@@ -172,6 +196,67 @@ class TestReport:
         lines = csv.strip().splitlines()
         assert len(lines) == 7
         assert lines[0].startswith("dataset,algorithm,status")
+
+
+def _status_matrix():
+    """One dataset, four algorithms, one record in each terminal status."""
+    records = (
+        RunRecord("OK", "ds", "sim", "ok", triangles=10, sim_time_s=1.0),
+        RunRecord("DEG", "ds", "sim", "degraded", triangles=10, sim_time_s=2.0,
+                  extra={"degradation": {"initial_blocks": 16, "final_blocks": 4}}),
+        RunRecord("INV", "ds", "sim", "invalid", triangles=11, sim_time_s=0.5,
+                  error="triangle count mismatch"),
+        RunRecord("BAD", "ds", "sim", "failed", error="boom"),
+    )
+    return ComparisonMatrix(
+        records=records, algorithms=("OK", "DEG", "INV", "BAD"), datasets=("ds",)
+    )
+
+
+class TestStatusRendering:
+    """Degraded and quarantined cells must render distinctly — neither as
+    red crosses nor masquerading as full-fidelity measurements."""
+
+    def test_usable_property(self):
+        m = _status_matrix()
+        assert m.cell("OK", "ds").usable
+        assert m.cell("DEG", "ds").usable and not m.cell("DEG", "ds").ok
+        assert not m.cell("INV", "ds").usable
+        assert not m.cell("BAD", "ds").usable
+
+    def test_matrix_status_helpers(self):
+        m = _status_matrix()
+        assert [r.algorithm for r in m.degraded()] == ["DEG"]
+        assert [r.algorithm for r in m.quarantined()] == ["INV"]
+        assert [r.algorithm for r in m.failures()] == ["BAD"]
+
+    def test_figure_series_marks_each_status(self):
+        text = render_figure_series(_status_matrix(), "sim_time_s")
+        row = {line.split()[0]: line.split()[1] for line in text.splitlines()[2:6]}
+        assert row["OK"] == "1000.0000"
+        assert row["DEG"] == "2000.0000*"
+        assert row["INV"] == "!"
+        assert row["BAD"] == "x"
+
+    def test_figure_series_footnotes(self):
+        text = render_figure_series(_status_matrix(), "sim_time_s")
+        assert "degraded: completed at a timeout-reduced block budget" in text
+        assert "quarantined by cpu_reference cross-check" in text
+        # an all-ok matrix carries no footnote noise
+        clean = run_matrix(("Polak",), ("As-Caida",), max_blocks_simulated=4)
+        assert "degraded" not in render_figure_series(clean, "sim_time_s")
+
+    def test_speedups_mark_degraded_and_invalid(self):
+        text = render_speedups(_status_matrix(), "OK", ("DEG", "INV", "BAD"))
+        cells = text.splitlines()[2].split()
+        assert cells[0] == "ds"
+        assert cells[1] == "2.00*"  # degraded baseline: ratio kept, marked
+        assert cells[2] == "!"  # quarantined baseline
+        assert cells[3] == "x"  # failed baseline
+
+    def test_winners_exclude_degraded_and_invalid(self):
+        # INV has the lowest time but must never win; DEG is excluded too
+        assert _status_matrix().winners("sim_time_s") == {"ds": "OK"}
 
 
 class TestSweep:

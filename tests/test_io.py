@@ -7,6 +7,7 @@ from repro.graph import CSRGraph, clean_edges
 from repro.graph.generators import chung_lu, complete_graph
 from repro.graph.io import (
     CACHE_VERSION,
+    CHECKSUM_KEY,
     cache_dir,
     cache_key,
     cached_edges,
@@ -46,7 +47,19 @@ class TestTextFormat:
     def test_malformed_line(self, tmp_path):
         p = tmp_path / "bad.txt"
         p.write_text("0 1\n42\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="line 2"):
+            read_text_edges(p)
+
+    def test_non_integer_id_names_line(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("# header\n0 1\n2 x\n")
+        with pytest.raises(ValueError, match="non-integer.*line 3"):
+            read_text_edges(p)
+
+    def test_negative_id_names_line(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("0 1\n1 2\n3 -4\n")
+        with pytest.raises(ValueError, match="negative.*line 3"):
             read_text_edges(p)
 
 
@@ -59,6 +72,18 @@ class TestBinaryFormat:
     def test_rejects_huge_ids(self, tmp_path):
         with pytest.raises(ValueError):
             write_binary_edges(tmp_path / "x.bin", [[0, 2**31]])
+
+    def test_rejects_negative_ids_on_write(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            write_binary_edges(tmp_path / "x.bin", [[0, -1]])
+
+    def test_negative_id_on_read_names_byte_offset(self, tmp_path):
+        """Flipped sign bits (corruption / int32 overflow) must be located,
+        not silently passed through as vertex ids."""
+        p = tmp_path / "neg.bin"
+        np.array([0, 1, 2, -3], dtype="<i4").tofile(str(p))
+        with pytest.raises(ValueError, match="-3 at byte offset 12"):
+            read_binary_edges(p)
 
     def test_rejects_odd_file(self, tmp_path):
         p = tmp_path / "odd.bin"
@@ -139,6 +164,46 @@ class TestReplicaDiskCache:
         # and the torn file was removed so the next store can heal it
         store_cached_arrays(key, edges=edges)
         assert load_cached_arrays(key) is not None
+
+    def test_checksum_tamper_is_a_miss(self, edges):
+        """A bundle whose payload no longer matches its manifest (bit rot,
+        tampering) is rejected and deleted, not computed on."""
+        key = cache_key("edges", "Tamper", seed=1)
+        store_cached_arrays(key, edges=edges)
+        path = self.dir / f"{key}.npz"
+        with np.load(str(path)) as data:
+            manifest = str(data[CHECKSUM_KEY])
+        tampered = edges.copy()
+        tampered[0, 0] += 1
+        np.savez_compressed(
+            str(path), edges=tampered, **{CHECKSUM_KEY: np.array(manifest)}
+        )
+        assert load_cached_arrays(key) is None
+        assert not path.exists()
+
+    def test_midfile_bitflip_is_a_miss(self, edges):
+        """Bytes flipped inside the zip payload (a bad deflate stream) read
+        as corruption, not as an exception out of the loader."""
+        key = cache_key("edges", "Bitflip", seed=1)
+        store_cached_arrays(key, edges=edges)
+        path = self.dir / f"{key}.npz"
+        data = bytearray(path.read_bytes())
+        mid = len(data) // 2
+        for i in range(mid, mid + 64):
+            data[i] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert load_cached_arrays(key) is None
+        assert not path.exists()
+
+    def test_manifestless_legacy_bundle_accepted(self, edges):
+        key = cache_key("edges", "Legacy", seed=1)
+        np.savez_compressed(str(self.dir / f"{key}.npz"), edges=edges)
+        back = load_cached_arrays(key)
+        assert np.array_equal(back["edges"], edges)
+
+    def test_checksum_key_reserved(self, edges):
+        with pytest.raises(ValueError, match="reserved"):
+            store_cached_arrays("k", **{CHECKSUM_KEY: edges})
 
     def test_atomic_store_leaves_no_temp_files(self, edges):
         store_cached_arrays(cache_key("edges", "Atomic", seed=1), edges=edges)
