@@ -1,0 +1,60 @@
+"""Wall-time of the verification subsystem's hot paths.
+
+Two quantities gate developer feedback speed: recording the golden
+fixture x algorithm matrix (what `golden --check` and the tier-1 gate
+pay) and a fuzz smoke batch covering every strategy family.  Both are
+timed here and written to ``BENCH_verify.json`` so the perf trajectory
+of the verify layer has a tracked data point.
+
+Run with ``pytest benchmarks/bench_verify_quick.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.verify.differential import run_fuzz
+from repro.verify.fixtures import GOLDEN_DEVICES
+from repro.verify.goldens import record_device
+from repro.verify.strategies import STRATEGIES
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_verify.json"
+FUZZ_SEEDS = len(STRATEGIES)  # one full strategy round-robin
+FUZZ_MAX_EDGES = 120
+
+
+def test_verify_quick(benchmark, tmp_path):
+    timings: dict[str, float] = {}
+
+    def run():
+        t0 = time.perf_counter()
+        snapshots = {device: record_device(device) for device in GOLDEN_DEVICES}
+        t1 = time.perf_counter()
+        reports = run_fuzz(
+            range(FUZZ_SEEDS), max_edges=FUZZ_MAX_EDGES, artifact_root=tmp_path
+        )
+        t2 = time.perf_counter()
+        timings["golden_matrix_s"] = t1 - t0
+        timings["fuzz_smoke_s"] = t2 - t1
+        return snapshots, reports
+
+    snapshots, reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(snapshots) == len(GOLDEN_DEVICES)
+    disagreements = sum(not r.ok for r in reports)
+    assert disagreements == 0
+
+    payload = {
+        "golden_matrix_s": round(timings["golden_matrix_s"], 4),
+        "golden_devices": len(GOLDEN_DEVICES),
+        "fuzz_smoke_s": round(timings["fuzz_smoke_s"], 4),
+        "fuzz_seeds": FUZZ_SEEDS,
+        "fuzz_max_edges": FUZZ_MAX_EDGES,
+        "fuzz_disagreements": disagreements,
+        "total_s": round(timings["golden_matrix_s"] + timings["fuzz_smoke_s"], 4),
+    }
+    OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nverify quick timings -> {OUT}")
+    for key, value in sorted(payload.items()):
+        print(f"  {key}: {value}")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..graph.edgelist import as_edge_array, clean_edges
+from ..graph.edgelist import as_edge_array, clean_edges, deduplicate_edges, remove_self_loops
 from ..graph.orientation import orient_by_id
 from ..intersect.binsearch import batch_edge_intersection_counts
 
@@ -27,8 +27,16 @@ def edge_support(edges) -> tuple[np.ndarray, np.ndarray]:
     every triangle through undirected edge {u, v} has its witness in
     ``N+(u) ∩ N+(v)`` ∪ witnesses counted at the triangle's other corners…
     so supports are assembled from all three corner contributions.
+
+    Vertex ids are preserved: the input is deduplicated and de-looped but
+    *not* compacted, so the returned rows refer to the caller's vertices.
+    (The CSR built internally may relabel, but compaction is a monotone
+    relabelling, so its edge-slot order matches the returned rows — the
+    alignment the support array relies on.  Compacting here used to
+    renumber survivors on every :func:`ktruss` peeling round, yielding
+    truss edges from a different id space than the input.)
     """
-    edges = clean_edges(as_edge_array(edges))
+    edges = deduplicate_edges(remove_self_loops(as_edge_array(edges)), directed=False)
     if edges.shape[0] == 0:
         return edges, np.zeros(0, dtype=np.int64)
     csr = orient_by_id(edges)

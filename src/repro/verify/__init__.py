@@ -1,0 +1,67 @@
+"""Verification subsystem: golden baselines, differential fuzzing, invariants.
+
+The paper's conclusions rest on three nvprof-analog counters the simulator
+computes (Figures 11-13, 15); count-equality tests alone cannot detect a
+cost-model or warp-executor refactor that silently shifts those counters
+while every triangle count stays right.  This package is the correctness
+layer that closes that gap:
+
+* :mod:`repro.verify.goldens` — checked-in metric baselines
+  (``tests/goldens/*.json``) for every registered algorithm on a fixed
+  fixture set and both simulated device presets, with tolerance-aware
+  comparison and an ``--update`` flow;
+* :mod:`repro.verify.differential` — a seeded differential fuzzer running
+  every algorithm plus the CPU references on generated graphs, with
+  delta-debugging shrinking (:mod:`repro.verify.shrink`) and repro
+  artifacts under ``.cache/failures/<seed>/``;
+* :mod:`repro.verify.invariants` — metamorphic count invariants
+  (relabelling, disjoint union, padding, duplicate idempotence) and
+  simulator metric invariants (efficiency range, transactions/request
+  floor, sampling consistency, parallel determinism).
+
+Drive it from a shell::
+
+    python -m repro.verify golden --check
+    python -m repro.verify golden --update
+    python -m repro.verify fuzz --seeds 25 --max-edges 400
+    python -m repro.verify invariants
+"""
+
+from .differential import FuzzReport, count_all, disagreements, fuzz_one, run_fuzz
+from .fixtures import GOLDEN_BLOCKS, GOLDEN_DEVICES, fixture_csr, fixture_edges, fixture_names
+from .goldens import (
+    GoldenDiff,
+    check_device,
+    compare_snapshots,
+    golden_path,
+    load_goldens,
+    record_device,
+    update_goldens,
+    write_goldens,
+)
+from .invariants import InvariantResult, run_invariants
+from .shrink import ddmin
+
+__all__ = [
+    "FuzzReport",
+    "GOLDEN_BLOCKS",
+    "GOLDEN_DEVICES",
+    "GoldenDiff",
+    "InvariantResult",
+    "check_device",
+    "compare_snapshots",
+    "count_all",
+    "ddmin",
+    "disagreements",
+    "fixture_csr",
+    "fixture_edges",
+    "fixture_names",
+    "fuzz_one",
+    "golden_path",
+    "load_goldens",
+    "record_device",
+    "run_fuzz",
+    "run_invariants",
+    "update_goldens",
+    "write_goldens",
+]

@@ -1,0 +1,279 @@
+"""Differential fuzzing: run every implementation, hunt disagreements.
+
+For one raw edge list the checker computes the triangle count through
+every independent path in the system:
+
+* ``matrix`` — ``trace(A^3)/6`` via scipy.sparse (the baseline);
+* ``node-iterator`` — the textbook O(sum d^2) reference;
+* ``oriented-ref/{degree,id}`` — the vectorised oriented-CSR reference
+  under both orientation orderings;
+* ``<Algorithm>/{degree,id}`` — each registered algorithm's vectorised
+  ``count`` under both orderings;
+* ``<Algorithm>/structural`` — the pure-Python kernel-control-flow count
+  (small graphs only; quadratic);
+* ``<Algorithm>/device`` — the SIMT simulator's own accumulator from a
+  full-grid (unsampled) launch (small graphs only).
+
+Any key that differs from the baseline is a *disagreement*; the fuzzer
+then delta-debugs the raw edge list down to a 1-minimal failing graph
+(:mod:`repro.verify.shrink`) and writes a self-contained repro artifact —
+edge lists, a JSON report, and a ready-to-paste pytest regression — under
+``.cache/failures/<seed>/``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..algorithms.base import all_algorithms
+from ..algorithms.cpu_reference import (
+    count_triangles_matrix,
+    count_triangles_node_iterator,
+    count_triangles_oriented,
+)
+from ..graph import io
+from ..graph.edgelist import as_edge_array, clean_edges
+from ..graph.orientation import oriented_csr
+from ..gpu.device import SIM_V100
+from .shrink import ddmin
+from .strategies import FuzzCase, generate_case
+
+__all__ = [
+    "BASELINE",
+    "FuzzReport",
+    "count_all",
+    "disagreements",
+    "default_artifact_root",
+    "fuzz_one",
+    "run_fuzz",
+    "write_artifact",
+]
+
+#: The comparison anchor every other implementation is diffed against.
+BASELINE = "matrix"
+
+#: Pure-Python structural counts are quadratic; cap the graphs they run on.
+STRUCTURAL_EDGE_LIMIT = 64
+
+#: Full-grid SIMT simulation of all nine kernels; cap likewise.
+DEVICE_EDGE_LIMIT = 150
+
+_ORDERINGS = ("degree", "id")
+
+
+def count_all(
+    edges,
+    *,
+    structural_limit: int = STRUCTURAL_EDGE_LIMIT,
+    device_limit: int = DEVICE_EDGE_LIMIT,
+    restrict: Iterable[str] | None = None,
+) -> dict[str, int]:
+    """Triangle count through every implementation path, keyed by name.
+
+    ``restrict`` limits the run to the named keys (the baseline is always
+    included) and lifts the size gates — the shrinker uses this so a
+    disagreement first seen on a gated path stays checkable on shrunken
+    candidates without paying for the 20+ unrelated paths.
+    """
+    edges = as_edge_array(edges)
+    wanted = None if restrict is None else set(restrict) | {BASELINE}
+
+    def active(key: str, *, gated: bool = True) -> bool:
+        if wanted is not None:
+            return key in wanted
+        return gated
+
+    cleaned = clean_edges(edges)
+    m = cleaned.shape[0]
+    results: dict[str, int] = {BASELINE: count_triangles_matrix(edges)}
+
+    if active("node-iterator"):
+        results["node-iterator"] = count_triangles_node_iterator(edges)
+
+    csrs = {ordering: oriented_csr(cleaned, ordering=ordering) for ordering in _ORDERINGS}
+    for ordering, csr in csrs.items():
+        if active(f"oriented-ref/{ordering}"):
+            results[f"oriented-ref/{ordering}"] = count_triangles_oriented(csr)
+
+    for cls in all_algorithms():
+        alg = cls()
+        for ordering, csr in csrs.items():
+            if active(f"{alg.name}/{ordering}"):
+                results[f"{alg.name}/{ordering}"] = int(alg.count(csr))
+        if active(f"{alg.name}/structural", gated=m <= structural_limit):
+            results[f"{alg.name}/structural"] = int(alg.count_structural(csrs["degree"]))
+        if active(f"{alg.name}/device", gated=m <= device_limit):
+            run = alg.profile(csrs["degree"], device=SIM_V100, max_blocks_simulated=None)
+            results[f"{alg.name}/device"] = int(run.device_triangles)
+    return results
+
+
+def disagreements(results: dict[str, int]) -> dict[str, int]:
+    """Entries that differ from the baseline count (empty = all agree)."""
+    baseline = results[BASELINE]
+    return {k: v for k, v in results.items() if v != baseline}
+
+
+def default_artifact_root() -> Path:
+    """``.cache/failures`` (honours ``REPRO_CACHE_DIR``)."""
+    return io.cache_dir() / "failures"
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one fuzzed seed."""
+
+    seed: int
+    strategy: str
+    edges: np.ndarray = field(repr=False)
+    results: dict[str, int]
+    disagreeing: dict[str, int]
+    shrunk_edges: np.ndarray | None = field(default=None, repr=False)
+    shrunk_results: dict[str, int] | None = None
+    artifact_dir: Path | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreeing
+
+
+def _shrink_case(case: FuzzCase, suspects: set[str], **limits) -> np.ndarray:
+    """Delta-debug the raw edge list, preserving *some* disagreement among
+    the originally-disagreeing implementations."""
+
+    def predicate(candidate: np.ndarray) -> bool:
+        try:
+            results = count_all(candidate, restrict=suspects, **limits)
+        except Exception:
+            # A candidate that crashes an implementation is also a failure
+            # worth keeping — the shrinker may converge on the crash.
+            return True
+        return bool(disagreements(results))
+
+    return ddmin(case.edges, predicate)
+
+
+def _regression_source(seed: int, strategy: str, edges: np.ndarray) -> str:
+    rows = ", ".join(f"[{int(u)}, {int(v)}]" for u, v in edges)
+    return (
+        '"""Auto-generated regression: differential disagreement found by\n'
+        f"`python -m repro.verify fuzz` (seed={seed}, strategy={strategy!r}),\n"
+        "shrunk to a 1-minimal edge list.  Paste into tests/ to pin the fix.\n"
+        '"""\n'
+        "\n"
+        "import numpy as np\n"
+        "\n"
+        "from repro.verify.differential import count_all, disagreements\n"
+        "\n"
+        f"EDGES = np.array([{rows}], dtype=np.int64).reshape(-1, 2)\n"
+        "\n"
+        "\n"
+        f"def test_fuzz_seed_{seed}_regression():\n"
+        "    assert not disagreements(count_all(EDGES))\n"
+    )
+
+
+def write_artifact(report: FuzzReport, root: str | Path | None = None) -> Path:
+    """Persist a failing seed's repro bundle under ``<root>/<seed>/``.
+
+    Contents: ``edges.txt`` (the raw generated input), ``shrunk.txt`` (the
+    minimal failing graph), ``report.json`` (counts and disagreements for
+    both), and ``test_regression.py`` (ready-to-paste pytest).
+    """
+    root = Path(root) if root is not None else default_artifact_root()
+    out = root / str(report.seed)
+    out.mkdir(parents=True, exist_ok=True)
+    io.write_text_edges(
+        out / "edges.txt", report.edges,
+        comment=f"fuzz seed={report.seed} strategy={report.strategy}",
+    )
+    shrunk = report.shrunk_edges if report.shrunk_edges is not None else report.edges
+    io.write_text_edges(out / "shrunk.txt", shrunk, comment="1-minimal failing edge list")
+    (out / "report.json").write_text(
+        json.dumps(
+            {
+                "seed": report.seed,
+                "strategy": report.strategy,
+                "edges": report.edges.shape[0],
+                "shrunk_edges": int(shrunk.shape[0]),
+                "results": report.results,
+                "disagreements": report.disagreeing,
+                "shrunk_results": report.shrunk_results,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    (out / "test_regression.py").write_text(
+        _regression_source(report.seed, report.strategy, shrunk)
+    )
+    return out
+
+
+def fuzz_one(
+    seed: int,
+    *,
+    max_edges: int = 400,
+    shrink: bool = True,
+    artifact_root: str | Path | None = None,
+    structural_limit: int = STRUCTURAL_EDGE_LIMIT,
+    device_limit: int = DEVICE_EDGE_LIMIT,
+) -> FuzzReport:
+    """Fuzz one seed end to end: generate, compare, shrink, persist."""
+    case = generate_case(seed, max_edges)
+    limits = dict(structural_limit=structural_limit, device_limit=device_limit)
+    results = count_all(case.edges, **limits)
+    bad = disagreements(results)
+    if not bad:
+        return FuzzReport(seed, case.strategy, case.edges, results, bad)
+    shrunk = _shrink_case(case, set(bad), **limits) if shrink else None
+    shrunk_results = (
+        count_all(shrunk, restrict=set(bad), **limits) if shrunk is not None else None
+    )
+    report = FuzzReport(
+        seed, case.strategy, case.edges, results, bad,
+        shrunk_edges=shrunk, shrunk_results=shrunk_results,
+    )
+    artifact = write_artifact(report, artifact_root)
+    return FuzzReport(
+        seed, case.strategy, case.edges, results, bad,
+        shrunk_edges=shrunk, shrunk_results=shrunk_results, artifact_dir=artifact,
+    )
+
+
+def run_fuzz(
+    seeds: int | Sequence[int],
+    *,
+    max_edges: int = 400,
+    shrink: bool = True,
+    artifact_root: str | Path | None = None,
+    structural_limit: int = STRUCTURAL_EDGE_LIMIT,
+    device_limit: int = DEVICE_EDGE_LIMIT,
+    progress=None,
+) -> list[FuzzReport]:
+    """Fuzz a batch of seeds (an int means ``range(seeds)``).
+
+    ``progress``, when given, is called with each completed
+    :class:`FuzzReport` — the CLI uses it for per-seed output.
+    """
+    seed_list = range(int(seeds)) if isinstance(seeds, int) else seeds
+    reports: list[FuzzReport] = []
+    for seed in seed_list:
+        report = fuzz_one(
+            seed,
+            max_edges=max_edges,
+            shrink=shrink,
+            artifact_root=artifact_root,
+            structural_limit=structural_limit,
+            device_limit=device_limit,
+        )
+        reports.append(report)
+        if progress is not None:
+            progress(report)
+    return reports

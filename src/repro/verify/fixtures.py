@@ -1,0 +1,123 @@
+"""Golden fixture graphs: the workloads the metric baselines are pinned on.
+
+Six deterministic graphs spanning the structural regimes the paper's
+figures discriminate on: a hub-dominated wheel (divergence), a dense
+clique (intersection-heavy), a heavy-tail power law (workload imbalance),
+a skewed R-MAT (web-style communities), a near-planar road lattice
+(triangle-poor), and an adversarial star-plus-cliques composite
+(hash-bucket collisions and duplicate-prone hubs).  They are small enough
+that the full 9-algorithm x 6-fixture x 2-device golden matrix records in
+a couple of seconds, so the tier-1 gate stays cheap.
+
+Everything here is frozen on purpose: changing a fixture, the block
+budget, or the ordering invalidates every checked-in golden, which is
+exactly the drift the baselines exist to catch.  Regenerate with
+``python -m repro.verify golden --update`` after any intentional change.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import generators as gen
+from ..graph.csr import CSRGraph
+from ..graph.edgelist import clean_edges
+from ..graph.orientation import oriented_csr
+
+__all__ = [
+    "FixtureSpec",
+    "FIXTURES",
+    "GOLDEN_BLOCKS",
+    "GOLDEN_DEVICES",
+    "GOLDEN_ORDERING",
+    "fixture_csr",
+    "fixture_edges",
+    "fixture_names",
+    "get_fixture",
+]
+
+#: Block-sampling budget every golden run uses (small grids are simulated
+#: fully anyway; the budget only trims the power-law fixtures).
+GOLDEN_BLOCKS = 4
+
+#: Orientation ordering the goldens are recorded with (the kernels' default).
+GOLDEN_ORDERING = "degree"
+
+#: Device presets the baselines cover — the two simulated GPUs of the paper.
+GOLDEN_DEVICES = ("sim-v100", "sim-rtx4090")
+
+
+def _star_cliques() -> np.ndarray:
+    """Adversarial composite: one hub star over two overlapping cliques.
+
+    Vertex ids are spread in steps of 32 so leaf ids collide in H-INDEX's
+    32-bucket modulo hash and straddle bitmap word boundaries; the two
+    cliques overlap on a shared vertex block so high-support edges and
+    hub-adjacent triangles coexist.
+    """
+    hub = 0
+    a = np.arange(1, 9, dtype=np.int64) * 32  # clique A: 32, 64, ... 256
+    b = np.arange(6, 14, dtype=np.int64) * 32  # clique B overlaps A on 192..256
+    parts = [np.stack([np.full(a.shape[0], hub, dtype=np.int64), a], axis=1)]
+    for block in (a, b):
+        iu, iv = np.triu_indices(block.shape[0], k=1)
+        parts.append(np.stack([block[iu], block[iv]], axis=1))
+    leaves = np.arange(1, 32, dtype=np.int64) * 32 + 1  # collision-free fringe
+    parts.append(np.stack([np.full(leaves.shape[0], hub, dtype=np.int64), leaves], axis=1))
+    return clean_edges(np.concatenate(parts, axis=0))
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    """One golden workload: a name and a deterministic edge-list builder."""
+
+    name: str
+    builder: Callable[[], np.ndarray]
+    note: str
+
+
+FIXTURES: tuple[FixtureSpec, ...] = (
+    FixtureSpec("wheel-24", lambda: gen.wheel(24), "hub divergence, 24 triangles"),
+    FixtureSpec("clique-12", lambda: gen.complete_graph(12), "dense intersections, C(12,3)"),
+    FixtureSpec(
+        "powerlaw-120",
+        lambda: gen.chung_lu(120, 480, exponent=2.1, seed=101),
+        "heavy-tail imbalance (Chung-Lu)",
+    ),
+    FixtureSpec("rmat-128", lambda: gen.rmat(7, 400, seed=102), "skewed web-style communities"),
+    FixtureSpec("road-12", lambda: gen.road_lattice(12, seed=103), "triangle-poor planar lattice"),
+    FixtureSpec("star-cliques", _star_cliques, "hash collisions + word boundaries + hub"),
+)
+
+_BY_NAME = {spec.name: spec for spec in FIXTURES}
+
+
+def fixture_names() -> list[str]:
+    """All golden fixture names, in registry order."""
+    return [spec.name for spec in FIXTURES]
+
+
+def get_fixture(name: str) -> FixtureSpec:
+    """Look up a fixture spec by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown fixture {name!r}; known: {fixture_names()}") from None
+
+
+@functools.lru_cache(maxsize=None)
+def fixture_edges(name: str) -> np.ndarray:
+    """Cleaned undirected edge array of a fixture (memoised, read-only)."""
+    edges = clean_edges(get_fixture(name).builder())
+    edges.setflags(write=False)
+    return edges
+
+
+@functools.lru_cache(maxsize=None)
+def fixture_csr(name: str, ordering: str = GOLDEN_ORDERING) -> CSRGraph:
+    """Oriented CSR of a fixture under the golden ordering (memoised)."""
+    return oriented_csr(fixture_edges(name), ordering=ordering)

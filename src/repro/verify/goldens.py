@@ -1,0 +1,226 @@
+"""Golden metric baselines: record, serialise, and compare.
+
+A golden snapshot pins, for one device preset, every registered algorithm's
+triangle count and profile metrics (``global_load_requests``,
+``warp_execution_efficiency``, ``gld_transactions_per_request``, issue
+``cycles``, and costed ``sim_time_s``) on the fixed fixture set of
+:mod:`repro.verify.fixtures`.  The snapshots live in ``tests/goldens/`` as
+diff-stable JSON (sorted keys, floats rounded to 10 significant digits)
+so a refactor that shifts any counter shows up as a one-line diff naming
+the fixture, algorithm, and metric.
+
+``sim_time_s`` is deliberately part of the snapshot: it is the only
+recorded quantity that passes through :class:`repro.gpu.costmodel.CostModel`,
+so perturbing a cost-model constant fails the golden check even when every
+raw counter is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..algorithms.base import all_algorithms
+from ..gpu.costmodel import CostModel
+from ..gpu.device import get_device
+from .fixtures import GOLDEN_BLOCKS, GOLDEN_DEVICES, GOLDEN_ORDERING, fixture_csr, fixture_names
+
+__all__ = [
+    "GOLDEN_SCHEMA",
+    "GOLDEN_METRICS",
+    "GoldenDiff",
+    "golden_path",
+    "record_device",
+    "write_goldens",
+    "load_goldens",
+    "compare_snapshots",
+    "check_device",
+    "update_goldens",
+]
+
+#: Bump when the snapshot layout changes; mismatched schemas fail loudly.
+GOLDEN_SCHEMA = 1
+
+#: Recorded per (fixture, algorithm); "count" is compared exactly on top.
+GOLDEN_METRICS = (
+    "global_load_requests",
+    "warp_execution_efficiency",
+    "gld_transactions_per_request",
+    "cycles",
+    "sim_time_s",
+)
+
+#: Default comparison tolerances.  The simulator is deterministic, so the
+#: only slack needed is the 10-significant-digit rounding of the stored
+#: floats; 1e-6 relative keeps the gate tight enough to catch a one-unit
+#: change in any cost-model constant.
+DEFAULT_RTOL = 1e-6
+DEFAULT_ATOL = 1e-9
+
+
+def golden_path(device_name: str, root: str | Path | None = None) -> Path:
+    """Snapshot file for one device preset (``tests/goldens/<device>.json``)."""
+    if root is None:
+        root = Path(__file__).resolve().parents[3] / "tests" / "goldens"
+    return Path(root) / f"{device_name}.json"
+
+
+def _round(value: float) -> float:
+    """Round to 10 significant digits: diff-stable, far inside the rtol."""
+    if value == 0 or not math.isfinite(value):
+        return value
+    return float(f"{value:.10g}")
+
+
+def record_device(
+    device_name: str,
+    *,
+    blocks: int = GOLDEN_BLOCKS,
+    ordering: str = GOLDEN_ORDERING,
+    cost_model: CostModel | None = None,
+) -> dict:
+    """Run the full fixture x algorithm matrix on one device preset."""
+    device = get_device(device_name)
+    fixtures: dict[str, dict] = {}
+    for fname in fixture_names():
+        csr = fixture_csr(fname, ordering)
+        algorithms: dict[str, dict] = {}
+        for cls in all_algorithms():
+            alg = cls()
+            result = alg.profile(
+                csr, device=device, max_blocks_simulated=blocks, cost_model=cost_model
+            )
+            m = result.metrics
+            algorithms[alg.name] = {
+                "count": int(result.triangles),
+                "global_load_requests": _round(m.global_load_requests),
+                "warp_execution_efficiency": _round(m.warp_execution_efficiency),
+                "gld_transactions_per_request": _round(m.gld_transactions_per_request),
+                "cycles": _round(m.issue_cycles),
+                "sim_time_s": _round(result.sim_time_s),
+            }
+        fixtures[fname] = {"n": csr.n, "m": csr.m, "algorithms": algorithms}
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "device": device_name,
+        "blocks": blocks,
+        "ordering": ordering,
+        "fixtures": fixtures,
+    }
+
+
+def write_goldens(snapshot: dict, path: str | Path) -> Path:
+    """Serialise a snapshot deterministically (sorted keys, trailing newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_goldens(path: str | Path) -> dict:
+    """Load a snapshot, validating its schema version."""
+    snapshot = json.loads(Path(path).read_text())
+    schema = snapshot.get("schema")
+    if schema != GOLDEN_SCHEMA:
+        raise ValueError(
+            f"golden schema mismatch in {path}: file has {schema!r}, "
+            f"code expects {GOLDEN_SCHEMA} — regenerate with "
+            "`python -m repro.verify golden --update`"
+        )
+    return snapshot
+
+
+@dataclass(frozen=True)
+class GoldenDiff:
+    """One baseline violation: where, which metric, and both values."""
+
+    fixture: str
+    algorithm: str
+    metric: str
+    golden: float | int | None
+    current: float | int | None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fixture} / {self.algorithm} / {self.metric}: "
+            f"golden={self.golden!r} current={self.current!r}"
+        )
+
+
+def _close(a: float, b: float, rtol: float, atol: float) -> bool:
+    return abs(a - b) <= atol + rtol * abs(b)
+
+
+def compare_snapshots(
+    golden: dict,
+    current: dict,
+    *,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> list[GoldenDiff]:
+    """All metric-level differences between two snapshots.
+
+    Counts compare exactly; float metrics within ``atol + rtol * |golden|``.
+    Fixtures or algorithms present on only one side are reported as diffs
+    against ``None`` so a silently dropped algorithm cannot pass the gate.
+    """
+    diffs: list[GoldenDiff] = []
+    gold_fixtures = golden.get("fixtures", {})
+    cur_fixtures = current.get("fixtures", {})
+    for fname in sorted(set(gold_fixtures) | set(cur_fixtures)):
+        gf = gold_fixtures.get(fname)
+        cf = cur_fixtures.get(fname)
+        if gf is None or cf is None:
+            diffs.append(
+                GoldenDiff(fname, "*", "fixture", None if gf is None else "present",
+                           None if cf is None else "present")
+            )
+            continue
+        gal = gf.get("algorithms", {})
+        cal = cf.get("algorithms", {})
+        for alg in sorted(set(gal) | set(cal)):
+            ga = gal.get(alg)
+            ca = cal.get(alg)
+            if ga is None or ca is None:
+                diffs.append(
+                    GoldenDiff(fname, alg, "algorithm", None if ga is None else "present",
+                               None if ca is None else "present")
+                )
+                continue
+            if ga["count"] != ca["count"]:
+                diffs.append(GoldenDiff(fname, alg, "count", ga["count"], ca["count"]))
+            for metric in GOLDEN_METRICS:
+                if not _close(float(ca[metric]), float(ga[metric]), rtol, atol):
+                    diffs.append(GoldenDiff(fname, alg, metric, ga[metric], ca[metric]))
+    return diffs
+
+
+def check_device(
+    device_name: str,
+    *,
+    root: str | Path | None = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    cost_model: CostModel | None = None,
+) -> list[GoldenDiff]:
+    """Re-record one device and diff it against the checked-in snapshot."""
+    golden = load_goldens(golden_path(device_name, root))
+    current = record_device(
+        device_name,
+        blocks=int(golden.get("blocks", GOLDEN_BLOCKS)),
+        ordering=str(golden.get("ordering", GOLDEN_ORDERING)),
+        cost_model=cost_model,
+    )
+    return compare_snapshots(golden, current, rtol=rtol, atol=atol)
+
+
+def update_goldens(
+    devices: tuple[str, ...] = GOLDEN_DEVICES, *, root: str | Path | None = None
+) -> list[Path]:
+    """Regenerate and write the snapshots for the given devices."""
+    return [
+        write_goldens(record_device(device), golden_path(device, root))
+        for device in devices
+    ]

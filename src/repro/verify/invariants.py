@@ -1,0 +1,264 @@
+"""Metamorphic count invariants and simulator metric invariants.
+
+Two families, both executable via ``python -m repro.verify invariants``:
+
+*Count metamorphics* — transformations that provably preserve the triangle
+count, applied to seeded random graphs and checked across every registered
+algorithm: vertex relabelling, disjoint-union additivity, isolated-vertex
+padding (trailing empty CSR rows), and duplicate-edge idempotence.
+
+*Simulator invariants* — structural facts about the profiled metrics that
+any correct warp executor must satisfy on the golden fixtures:
+``warp_execution_efficiency`` in (0, 1]; at least one 32 B sector per
+global load request; block-sampled counters within a bounded factor of the
+full-grid simulation; and ``jobs=1`` vs ``jobs=N`` matrix determinism.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.base import all_algorithms
+from ..algorithms.cpu_reference import count_triangles_matrix
+from ..framework.compare import run_matrix
+from ..graph.csr import CSRGraph
+from ..graph.edgelist import clean_edges
+from ..graph.orientation import oriented_csr
+from ..gpu.device import SIM_V100
+from .fixtures import GOLDEN_BLOCKS, fixture_csr, fixture_names
+
+__all__ = [
+    "InvariantResult",
+    "check_metric_ranges",
+    "check_sampling_consistency",
+    "check_relabelling",
+    "check_disjoint_union",
+    "check_isolated_padding",
+    "check_duplicate_idempotence",
+    "check_parallel_determinism",
+    "run_invariants",
+]
+
+#: Block-sampled counters may deviate from the full grid on heterogeneous
+#: grids (power-law hubs concentrate work in few blocks); a correct
+#: extrapolation still stays within this factor on the fixture set.
+SAMPLING_RATIO_BOUND = 3.0
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One invariant check: name, verdict, and a human-readable detail."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok " if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f" — {self.detail}" if self.detail else "")
+
+
+def _random_edges(rng: np.random.Generator) -> np.ndarray:
+    n = int(rng.integers(3, 24))
+    m = int(rng.integers(1, 3 * n))
+    return rng.integers(0, n, size=(m, 2)).astype(np.int64)
+
+
+def _all_counts(edges: np.ndarray) -> dict[str, int]:
+    csr = oriented_csr(clean_edges(edges), ordering="degree")
+    return {cls.name: int(cls().count(csr)) for cls in all_algorithms()}
+
+
+# -- simulator invariants ---------------------------------------------------
+
+
+def check_metric_ranges(*, blocks: int = GOLDEN_BLOCKS) -> InvariantResult:
+    """Efficiency in (0, 1]; >= 1 sector/request; sane launch accounting."""
+    for fname in fixture_names():
+        csr = fixture_csr(fname)
+        for cls in all_algorithms():
+            r = cls().profile(csr, device=SIM_V100, max_blocks_simulated=blocks)
+            m = r.metrics
+            where = f"{fname}/{cls.name}"
+            if not 0.0 < m.warp_execution_efficiency <= 1.0:
+                return InvariantResult(
+                    "metric-ranges", False,
+                    f"{where}: warp_execution_efficiency={m.warp_execution_efficiency}",
+                )
+            if m.global_load_requests > 0 and m.gld_transactions_per_request < 1.0:
+                return InvariantResult(
+                    "metric-ranges", False,
+                    f"{where}: gld_transactions_per_request="
+                    f"{m.gld_transactions_per_request} < 1",
+                )
+            if m.blocks_simulated > m.blocks_launched:
+                return InvariantResult(
+                    "metric-ranges", False,
+                    f"{where}: simulated {m.blocks_simulated} > launched {m.blocks_launched}",
+                )
+            if not r.sim_time_s > 0.0:
+                return InvariantResult(
+                    "metric-ranges", False, f"{where}: sim_time_s={r.sim_time_s}"
+                )
+    return InvariantResult("metric-ranges", True, "all fixtures x algorithms")
+
+
+def check_sampling_consistency(
+    *, blocks: int = GOLDEN_BLOCKS, ratio_bound: float = SAMPLING_RATIO_BOUND
+) -> InvariantResult:
+    """Block-sampled load requests within a bounded factor of the full grid."""
+    for fname in fixture_names():
+        csr = fixture_csr(fname)
+        for cls in all_algorithms():
+            sampled = cls().profile(csr, device=SIM_V100, max_blocks_simulated=blocks)
+            full = cls().profile(csr, device=SIM_V100, max_blocks_simulated=None)
+            a = sampled.metrics.global_load_requests
+            b = full.metrics.global_load_requests
+            if b == 0:
+                if a != 0:
+                    return InvariantResult(
+                        "sampling-consistency", False,
+                        f"{fname}/{cls.name}: sampled={a} but full grid issues none",
+                    )
+                continue
+            ratio = a / b
+            if not (1.0 / ratio_bound) <= ratio <= ratio_bound:
+                return InvariantResult(
+                    "sampling-consistency", False,
+                    f"{fname}/{cls.name}: sampled/full={ratio:.3f} "
+                    f"outside [1/{ratio_bound:g}, {ratio_bound:g}]",
+                )
+    return InvariantResult(
+        "sampling-consistency", True, f"within x{ratio_bound:g} on all fixtures"
+    )
+
+
+# -- metamorphic count invariants -------------------------------------------
+
+
+def check_relabelling(seeds: Sequence[int]) -> InvariantResult:
+    """Counts are invariant under random vertex relabelling."""
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        edges = clean_edges(_random_edges(rng))
+        if edges.shape[0] == 0:
+            continue
+        n = int(edges.max()) + 1
+        perm = rng.permutation(n).astype(np.int64)
+        base = _all_counts(edges)
+        relabelled = _all_counts(perm[edges])
+        ref = count_triangles_matrix(edges)
+        for name in base:
+            if not base[name] == relabelled[name] == ref:
+                return InvariantResult(
+                    "relabelling", False,
+                    f"seed {seed}, {name}: {base[name]} vs {relabelled[name]} (ref {ref})",
+                )
+    return InvariantResult("relabelling", True, f"{len(seeds)} seeds x all algorithms")
+
+
+def check_disjoint_union(seeds: Sequence[int]) -> InvariantResult:
+    """count(G1 disjoint-union G2) == count(G1) + count(G2)."""
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        e1 = clean_edges(_random_edges(rng))
+        e2 = clean_edges(_random_edges(rng))
+        offset = (int(e1.max()) + 1) if e1.shape[0] else 0
+        union = np.concatenate([e1, e2 + offset], axis=0)
+        c1, c2, cu = _all_counts(e1), _all_counts(e2), _all_counts(union)
+        for name in cu:
+            if cu[name] != c1[name] + c2[name]:
+                return InvariantResult(
+                    "disjoint-union", False,
+                    f"seed {seed}, {name}: {cu[name]} != {c1[name]} + {c2[name]}",
+                )
+    return InvariantResult("disjoint-union", True, f"{len(seeds)} seeds x all algorithms")
+
+
+def check_isolated_padding(seeds: Sequence[int], *, pad: int = 5) -> InvariantResult:
+    """Trailing isolated vertices (empty CSR rows) never change the count."""
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        edges = clean_edges(_random_edges(rng))
+        csr = oriented_csr(edges, ordering="degree")
+        padded = CSRGraph(
+            row_ptr=np.concatenate([csr.row_ptr, np.full(pad, csr.m, dtype=np.int64)]),
+            col=csr.col,
+        )
+        for cls in all_algorithms():
+            a, b = int(cls().count(csr)), int(cls().count(padded))
+            if a != b:
+                return InvariantResult(
+                    "isolated-padding", False,
+                    f"seed {seed}, {cls.name}: {a} != padded {b}",
+                )
+    return InvariantResult("isolated-padding", True, f"{len(seeds)} seeds x all algorithms")
+
+
+def check_duplicate_idempotence(seeds: Sequence[int]) -> InvariantResult:
+    """Duplicate edges, reversed copies, and self-loops are all harmless."""
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        edges = clean_edges(_random_edges(rng))
+        noise = [edges, edges[::-1], edges[:, ::-1]]
+        if edges.shape[0]:
+            v = int(edges[0, 0])
+            noise.append(np.array([[v, v]], dtype=np.int64))
+        noisy = np.concatenate([e for e in noise if e.shape[0]], axis=0) if edges.shape[0] else edges
+        base, dup = _all_counts(edges), _all_counts(noisy)
+        for name in base:
+            if base[name] != dup[name]:
+                return InvariantResult(
+                    "duplicate-idempotence", False,
+                    f"seed {seed}, {name}: {base[name]} != {dup[name]}",
+                )
+    return InvariantResult("duplicate-idempotence", True, f"{len(seeds)} seeds x all algorithms")
+
+
+def check_parallel_determinism(
+    *,
+    algorithms: Sequence[str] = ("Polak", "TRUST"),
+    datasets: Sequence[str] = ("As-Caida",),
+    jobs: int = 2,
+    blocks: int = GOLDEN_BLOCKS,
+) -> InvariantResult:
+    """A parallel matrix run is record-identical to the serial one."""
+    serial = run_matrix(
+        algorithms, datasets, max_blocks_simulated=blocks, jobs=1
+    )
+    fanned = run_matrix(
+        algorithms, datasets, max_blocks_simulated=blocks, jobs=jobs
+    )
+    if serial.records != fanned.records:
+        mismatch = [
+            (a.algorithm, a.dataset)
+            for a, b in zip(serial.records, fanned.records)
+            if a != b
+        ]
+        return InvariantResult(
+            "parallel-determinism", False, f"jobs=1 vs jobs={jobs} differ on {mismatch}"
+        )
+    return InvariantResult(
+        "parallel-determinism", True, f"jobs=1 == jobs={jobs} on {len(serial.records)} cells"
+    )
+
+
+def run_invariants(
+    *, seeds: int = 6, include_parallel: bool = True
+) -> list[InvariantResult]:
+    """Run the full invariant catalogue; returns one result per invariant."""
+    seed_list = list(range(seeds))
+    results = [
+        check_metric_ranges(),
+        check_sampling_consistency(),
+        check_relabelling(seed_list),
+        check_disjoint_union(seed_list),
+        check_isolated_padding(seed_list),
+        check_duplicate_idempotence(seed_list),
+    ]
+    if include_parallel:
+        results.append(check_parallel_determinism())
+    return results

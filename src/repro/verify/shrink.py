@@ -1,0 +1,85 @@
+"""Delta-debugging minimisation of failing edge lists.
+
+Classic ``ddmin`` (Zeller & Hildebrandt, "Simplifying and Isolating
+Failure-Inducing Input") specialised to ``(m, 2)`` edge arrays: the input
+is partitioned into chunks, and chunks / complements that preserve the
+failure are kept, doubling granularity until the result is 1-minimal —
+removing any single remaining edge makes the disagreement vanish.
+
+The predicate receives a *candidate edge array* and returns True while the
+failure reproduces.  Predicates are expected to be deterministic; the
+shrinker memoises them on the candidate bytes so the quadratic tail of
+ddmin does not re-run expensive differential checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["ddmin"]
+
+
+def _chunks(m: int, granularity: int) -> list[slice]:
+    """Split ``range(m)`` into ``granularity`` near-equal contiguous slices."""
+    bounds = np.linspace(0, m, granularity + 1).astype(int)
+    return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def ddmin(
+    edges: np.ndarray,
+    predicate: Callable[[np.ndarray], bool],
+    *,
+    max_evals: int = 10_000,
+) -> np.ndarray:
+    """1-minimal edge subset on which ``predicate`` still returns True.
+
+    Raises ``ValueError`` when the predicate does not hold on the full
+    input (nothing to shrink).  ``max_evals`` bounds predicate calls as a
+    runaway guard; the best-so-far reduction is returned if it trips.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    cache: dict[bytes, bool] = {}
+    evals = 0
+
+    def check(candidate: np.ndarray) -> bool:
+        nonlocal evals
+        key = candidate.tobytes()
+        if key not in cache:
+            if evals >= max_evals:
+                return False
+            evals += 1
+            cache[key] = bool(predicate(candidate))
+        return cache[key]
+
+    if not check(edges):
+        raise ValueError("predicate does not hold on the initial edge list")
+
+    current = edges
+    granularity = 2
+    while current.shape[0] >= 1:
+        m = current.shape[0]
+        granularity = min(granularity, m) if m else 1
+        reduced = False
+        for sl in _chunks(m, granularity):
+            subset = current[sl]
+            if subset.shape[0] < m and check(subset):
+                current = subset
+                granularity = 2
+                reduced = True
+                break
+            mask = np.ones(m, dtype=bool)
+            mask[sl] = False
+            complement = current[mask]
+            if complement.shape[0] < m and check(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if granularity >= m:
+            break  # 1-minimal: no single edge can be removed
+        granularity = min(m, granularity * 2)
+    return current

@@ -1,0 +1,148 @@
+"""Property tests for the Section I applications (clustering, k-truss).
+
+Clustering coefficients are checked for range membership and against a
+brute-force adjacency-set reference; k-truss for the nesting chain
+``(k+1)-truss ⊆ k-truss`` and the defining support bound.
+"""
+
+from itertools import combinations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.clustering import average_clustering, global_clustering, local_clustering
+from repro.apps.ktruss import edge_support, ktruss, max_truss, truss_numbers
+from repro.graph.edgelist import clean_edges
+from repro.graph.generators import complete_graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=0, max_size=40
+)
+
+
+def _adjacency(edges: np.ndarray) -> dict[int, set[int]]:
+    adj: dict[int, set[int]] = {}
+    for u, v in edges.tolist():
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    return adj
+
+
+def _brute_local_clustering(edges: np.ndarray) -> np.ndarray:
+    if edges.shape[0] == 0:
+        return np.zeros(0)
+    n = int(edges.max()) + 1
+    adj = _adjacency(edges)
+    out = np.zeros(n)
+    for v in range(n):
+        nbrs = sorted(adj.get(v, ()))
+        d = len(nbrs)
+        if d < 2:
+            continue
+        links = sum(1 for a, b in combinations(nbrs, 2) if b in adj[a])
+        out[v] = 2.0 * links / (d * (d - 1))
+    return out
+
+
+def _brute_triangles(edges: np.ndarray) -> int:
+    adj = _adjacency(edges)
+    return sum(
+        1
+        for u, v in edges.tolist()
+        for w in adj[u]
+        if w > v > u and w in adj[v]
+    )
+
+
+class TestClustering:
+    @given(edge_lists)
+    @settings(max_examples=50)
+    def test_coefficients_are_in_unit_interval(self, pairs):
+        edges = clean_edges(pairs)
+        local = local_clustering(edges)
+        assert np.all(local >= 0.0) and np.all(local <= 1.0)
+        assert 0.0 <= average_clustering(edges) <= 1.0
+        assert 0.0 <= global_clustering(edges) <= 1.0
+
+    @given(edge_lists)
+    @settings(max_examples=50)
+    def test_local_matches_brute_force(self, pairs):
+        edges = clean_edges(pairs)
+        assert np.allclose(local_clustering(edges), _brute_local_clustering(edges))
+
+    @given(edge_lists)
+    @settings(max_examples=50)
+    def test_global_matches_brute_force(self, pairs):
+        edges = clean_edges(pairs)
+        n = (int(edges.max()) + 1) if edges.shape[0] else 0
+        deg = np.bincount(edges.ravel(), minlength=n) if n else np.zeros(0, dtype=np.int64)
+        wedges = float((deg * (deg - 1) / 2).sum())
+        expected = 3.0 * _brute_triangles(edges) / wedges if wedges else 0.0
+        assert np.isclose(global_clustering(edges), expected)
+
+    def test_clique_is_fully_clustered(self):
+        edges = complete_graph(8)
+        assert np.allclose(local_clustering(edges)[:8], 1.0)
+        assert global_clustering(edges) == 1.0
+        assert average_clustering(edges) == 1.0
+
+
+class TestKTruss:
+    @given(edge_lists, st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_nesting_chain(self, pairs, k):
+        """The (k+1)-truss is always a subgraph of the k-truss."""
+        edges = clean_edges(pairs)
+        inner = {tuple(e) for e in ktruss(edges, k + 1).tolist()}
+        outer = {tuple(e) for e in ktruss(edges, k).tolist()}
+        assert inner <= outer
+
+    @given(edge_lists, st.integers(3, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_support_bound_holds_inside_truss(self, pairs, k):
+        """Every edge of the k-truss has >= k-2 triangles within it."""
+        truss = ktruss(clean_edges(pairs), k)
+        if truss.shape[0] == 0:
+            return
+        _, support = edge_support(truss)
+        assert int(support.min()) >= k - 2
+
+    @given(edge_lists)
+    @settings(max_examples=40)
+    def test_2_truss_is_the_graph_itself(self, pairs):
+        edges = clean_edges(pairs)
+        assert np.array_equal(ktruss(edges, 2), edges)
+
+    def test_complete_graph_truss_number(self):
+        """K_k is a k-truss (each edge has exactly k-2 supports) and no more."""
+        for k in (4, 5, 6):
+            assert max_truss(complete_graph(k)) == k
+
+    @given(edge_lists, st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_truss_is_subset_of_input(self, pairs, k):
+        """Truss edges stay in the input's id space (no fabricated edges)."""
+        edges = clean_edges(pairs)
+        universe = {tuple(e) for e in edges.tolist()}
+        assert {tuple(e) for e in ktruss(edges, k).tolist()} <= universe
+
+    @given(edge_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_truss_numbers_shrink_monotonically(self, pairs):
+        sizes = truss_numbers(clean_edges(pairs))
+        ks = sorted(sizes)
+        assert all(sizes[a] >= sizes[b] for a, b in zip(ks, ks[1:]))
+
+    def test_peeling_preserves_vertex_ids_regression(self):
+        """Found by the hypothesis nesting test: edge_support used to run
+        the full cleaning pipeline (including vertex compaction) on every
+        peeling round, so once peeling isolated a vertex the survivors were
+        renumbered and ktruss returned edges from a different id space —
+        here the 3-truss of {01, 02, 03, 13} came back as {01, 02, 12},
+        fabricating edge (1, 2) and breaking (k+1)-truss ⊆ k-truss."""
+        edges = clean_edges([(0, 1), (0, 2), (0, 3), (1, 3)])
+        truss3 = {tuple(e) for e in ktruss(edges, 3).tolist()}
+        assert truss3 == {(0, 1), (0, 3), (1, 3)}
+        truss2 = {tuple(e) for e in ktruss(edges, 2).tolist()}
+        assert truss3 <= truss2

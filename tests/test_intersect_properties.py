@@ -1,0 +1,213 @@
+"""Edge-case property tests for the four intersection substrates.
+
+Hypothesis strategies deliberately aim at the seams: empty neighbour
+lists, full overlap, hash-bucket collisions (all keys congruent mod 32),
+and bitmap ids on 32-bit word boundaries.  The pinned cases at the bottom
+are the boundary shapes kept as explicit regressions.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intersect.binsearch import (
+    binary_search,
+    binary_search_probes,
+    binsearch_intersect_count,
+)
+from repro.intersect.bitmap import VertexBitmap
+from repro.intersect.hashtable import FixedBucketHashTable, bucket_of, collision_stats
+from repro.intersect.merge import (
+    merge_intersect,
+    merge_intersect_count,
+    merge_path_partition,
+    merge_steps,
+)
+
+
+def sorted_unique(max_value=200, max_size=40):
+    """Sorted duplicate-free int arrays — the shape of a neighbour list.
+
+    ``min_size=0`` keeps the empty list (a degree-0 vertex) in play.
+    """
+    return st.lists(
+        st.integers(0, max_value), unique=True, min_size=0, max_size=max_size
+    ).map(lambda xs: np.array(sorted(xs), dtype=np.int64))
+
+
+#: All values congruent mod 32 — one bucket absorbs every key.
+colliding = st.lists(
+    st.integers(0, 30), unique=True, min_size=0, max_size=20
+).flatmap(
+    lambda ks: st.integers(0, 31).map(
+        lambda off: np.array(sorted(k * 32 + off for k in ks), dtype=np.int64)
+    )
+)
+
+
+class TestMerge:
+    @given(sorted_unique(), sorted_unique())
+    @settings(max_examples=80)
+    def test_matches_set_intersection(self, a, b):
+        expected = np.intersect1d(a, b)
+        assert np.array_equal(merge_intersect(a, b), expected)
+        assert merge_intersect_count(a, b) == expected.shape[0]
+
+    @given(sorted_unique())
+    def test_full_overlap_returns_everything(self, a):
+        assert np.array_equal(merge_intersect(a, a), a)
+        assert merge_intersect_count(a, a) == a.shape[0]
+
+    @given(sorted_unique())
+    def test_empty_side_short_circuits(self, a):
+        empty = np.zeros(0, dtype=np.int64)
+        assert merge_intersect(a, empty).shape[0] == 0
+        assert merge_intersect_count(empty, a) == 0
+        assert merge_steps(a, empty) == 0
+
+    @given(sorted_unique(), sorted_unique())
+    @settings(max_examples=80)
+    def test_step_count_bounds(self, a, b):
+        steps = merge_steps(a, b)
+        assert merge_intersect_count(a, b) <= steps <= a.shape[0] + b.shape[0]
+
+    @given(sorted_unique(max_value=60), sorted_unique(max_value=60), st.integers(1, 8))
+    @settings(max_examples=80)
+    def test_partition_covers_and_counts_exactly(self, a, b, parts):
+        """Green's Merge Path slices tile both inputs and the per-slice
+        intersection counts sum to the whole — even with parts > total."""
+        slices = merge_path_partition(a, b, parts)
+        assert len(slices) == parts
+        assert slices[0][0] == 0 and slices[0][2] == 0
+        assert slices[-1][1] == a.shape[0] and slices[-1][3] == b.shape[0]
+        for (_, a_hi, _, b_hi), (a_lo2, _, b_lo2, _) in zip(slices, slices[1:]):
+            assert (a_hi, b_hi) == (a_lo2, b_lo2)
+        total = sum(
+            merge_intersect_count(a[a_lo:a_hi], b[b_lo:b_hi])
+            for a_lo, a_hi, b_lo, b_hi in slices
+        )
+        assert total == merge_intersect_count(a, b)
+
+
+class TestBinsearch:
+    @given(sorted_unique(), st.integers(-5, 205))
+    @settings(max_examples=80)
+    def test_membership_matches_python(self, table, key):
+        expected = int(key) in set(table.tolist())
+        assert binary_search(table, key) == expected
+        found, probes = binary_search_probes(table, key)
+        assert found == expected
+        assert probes <= max(1, math.ceil(math.log2(table.shape[0] + 1)) + 1)
+
+    @given(sorted_unique(), sorted_unique())
+    @settings(max_examples=80)
+    def test_intersect_count_matches_sets(self, table, queries):
+        expected = len(set(table.tolist()) & set(queries.tolist()))
+        assert binsearch_intersect_count(table, queries) == expected
+
+    def test_empty_table_and_queries(self):
+        empty = np.zeros(0, dtype=np.int64)
+        assert binsearch_intersect_count(empty, np.array([1, 2])) == 0
+        assert binsearch_intersect_count(np.array([1, 2]), empty) == 0
+        assert binary_search_probes(empty, 7) == (False, 0)
+
+
+class TestHashTable:
+    @given(sorted_unique(max_value=500), st.sampled_from([1, 2, 7, 32]))
+    @settings(max_examples=80)
+    def test_membership_under_any_bucket_count(self, values, buckets):
+        table = FixedBucketHashTable(values, buckets)
+        universe = set(values.tolist())
+        probes_keys = np.arange(0, 64, dtype=np.int64)
+        expected = np.array([int(k) in universe for k in probes_keys])
+        assert np.array_equal(table.contains_many(probes_keys), expected)
+        assert len(table) == values.shape[0]
+        assert table.memory_words() == buckets + table.depth * buckets
+
+    @given(colliding)
+    @settings(max_examples=60)
+    def test_single_bucket_chain(self, values):
+        """All keys mod-32 congruent: one bucket holds the whole set, and a
+        probe for the j-th inserted key costs exactly j+1 slot loads."""
+        table = FixedBucketHashTable(values, 32)
+        if values.shape[0]:
+            assert int(np.count_nonzero(table.lens)) == 1
+            assert table.depth == values.shape[0]
+        for j, v in enumerate(values.tolist()):
+            found, probes = table.probe(v)
+            assert found and probes == j + 1
+        assert table.intersect_count(values) == values.shape[0]
+
+    @given(sorted_unique(max_value=300))
+    @settings(max_examples=60)
+    def test_collision_stats_consistency(self, values):
+        stats = collision_stats(values, 32)
+        lens = np.bincount(bucket_of(values, 32), minlength=32)
+        assert stats["max_fill"] == int(lens.max())
+        if values.shape[0]:
+            assert np.isclose(stats["miss_probes"], (lens**2).sum() / values.shape[0])
+
+    def test_num_buckets_one_degenerates_to_a_list(self):
+        values = np.array([3, 8, 13], dtype=np.int64)
+        table = FixedBucketHashTable(values, 1)
+        assert table.depth == 3
+        assert table.total_probes(values) == 1 + 2 + 3
+        assert not table.contains(4)
+
+
+class TestBitmap:
+    @given(st.integers(0, 130).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.integers(0, max(n - 1, 0)), unique=True, max_size=40)
+            if n else st.just([]),
+        )
+    ))
+    @settings(max_examples=80)
+    def test_set_test_clear_roundtrip(self, n_and_ids):
+        n, ids = n_and_ids
+        ids = np.array(sorted(ids), dtype=np.int64)
+        bm = VertexBitmap(n)
+        bm.set_many(ids)
+        assert bm.popcount() == ids.shape[0]
+        probe = np.arange(n, dtype=np.int64)
+        assert np.array_equal(bm.test_many(probe), np.isin(probe, ids))
+        assert bm.intersect_count(probe) == ids.shape[0]
+        bm.clear_many(ids)
+        assert bm.popcount() == 0
+
+    def test_word_boundary_bits(self):
+        """Ids 31/32/63/64 straddle the 32-bit word packing."""
+        bm = VertexBitmap(65)
+        assert bm.num_words == 3
+        for v in (0, 31, 32, 63, 64):
+            bm.set(v)
+            assert bm.test(v)
+        assert bm.popcount() == 5
+        assert [int(w) for w in bm.words] == [(1 << 31) | 1, (1 << 31) | 1, 1]
+        bm.clear(32)
+        assert not bm.test(32) and bm.test(31) and bm.test(63)
+
+    def test_exact_word_multiple_capacity(self):
+        bm = VertexBitmap(64)
+        assert bm.num_words == 2 and bm.memory_words() == 2
+        bm.set_many(np.arange(64, dtype=np.int64))
+        assert bm.popcount() == 64
+
+    def test_out_of_range_is_rejected(self):
+        bm = VertexBitmap(32)
+        for bad in (-1, 32):
+            try:
+                bm.set(bad)
+            except IndexError:
+                pass
+            else:
+                raise AssertionError(f"id {bad} accepted by a 32-bit bitmap")
+
+    def test_empty_bitmap(self):
+        bm = VertexBitmap(0)
+        assert bm.num_words == 0 and bm.popcount() == 0
+        assert bm.test_many(np.zeros(0, dtype=np.int64)).shape == (0,)
+        bm.set_many(np.zeros(0, dtype=np.int64))  # no-op, must not raise

@@ -1,0 +1,85 @@
+"""Metamorphic and simulator invariants: the catalogue must hold on main,
+and a deliberately broken algorithm must trip the matching check."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.verify.invariants import (
+    InvariantResult,
+    check_disjoint_union,
+    check_duplicate_idempotence,
+    check_isolated_padding,
+    check_metric_ranges,
+    check_parallel_determinism,
+    check_relabelling,
+    check_sampling_consistency,
+    run_invariants,
+)
+
+SEEDS = list(range(4))
+
+
+def test_metric_ranges_hold():
+    result = check_metric_ranges()
+    assert result.passed, result.detail
+
+
+def test_sampling_consistency_holds():
+    result = check_sampling_consistency()
+    assert result.passed, result.detail
+
+
+@pytest.mark.parametrize(
+    "check", [check_relabelling, check_disjoint_union,
+              check_isolated_padding, check_duplicate_idempotence],
+)
+def test_metamorphic_invariants_hold(check):
+    result = check(SEEDS)
+    assert result.passed, result.detail
+
+
+@pytest.mark.slow
+def test_parallel_matrix_is_deterministic():
+    result = check_parallel_determinism()
+    assert result.passed, result.detail
+
+
+def test_run_invariants_catalogue(monkeypatch):
+    results = run_invariants(seeds=3, include_parallel=False)
+    assert len(results) == 6
+    assert all(r.passed for r in results), [str(r) for r in results if not r.passed]
+    names = [r.name for r in results]
+    assert names == [
+        "metric-ranges", "sampling-consistency", "relabelling",
+        "disjoint-union", "isolated-padding", "duplicate-idempotence",
+    ]
+
+
+def test_broken_padding_is_caught(monkeypatch):
+    """An algorithm whose count depends on the vertex-set size (a classic
+    row-loop off-by-one) must fail the isolated-padding invariant."""
+    polak = type(get_algorithm("Polak"))
+    orig = polak.count
+    monkeypatch.setattr(polak, "count", lambda self, csr: orig(self, csr) + csr.n)
+    result = check_isolated_padding(SEEDS)
+    assert not result.passed
+    assert "Polak" in result.detail
+
+
+def test_broken_count_is_caught_by_relabelling(monkeypatch):
+    """A count that disagrees with the matrix reference must fail the
+    relabelling check even though it is itself relabelling-invariant."""
+    trust = type(get_algorithm("TRUST"))
+    orig = trust.count
+    monkeypatch.setattr(trust, "count", lambda self, csr: orig(self, csr) + 1)
+    result = check_relabelling(SEEDS)
+    assert not result.passed
+    assert "TRUST" in result.detail
+
+
+def test_invariant_result_formatting():
+    ok = InvariantResult("demo", True, "fine")
+    bad = InvariantResult("demo", False, "broke")
+    assert str(ok) == "[ok ] demo — fine"
+    assert str(bad) == "[FAIL] demo — broke"
+    assert str(InvariantResult("bare", True)) == "[ok ] bare"
