@@ -1,0 +1,94 @@
+"""Event vs vectorised engine wall-time on the golden fixture matrix.
+
+The PR-gating number for the record/replay engine: the full golden
+fixture x algorithm x device matrix (what ``golden --check`` pays) under
+the event executor, then under the vectorised engine three ways — cold
+(empty trace cache: record + replay), warm from disk (fresh process,
+traces rehydrated from ``.cache/``), and warm from memory (steady-state
+developer loop).  Parity is asserted with the golden comparator before
+any number is written, so a fast-but-wrong engine can never post a time.
+
+Results land in ``BENCH_sim.json``; CI's perf-smoke job diffs the cold
+vectorised time against the checked-in baseline.
+
+Run with ``pytest benchmarks/bench_sim_engine.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.gpu.engine import use_engine
+from repro.gpu.trace import get_trace_cache, reset_trace_cache
+from repro.verify.fixtures import GOLDEN_DEVICES
+from repro.verify.goldens import compare_snapshots, record_device
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def _matrix(engine: str) -> dict:
+    with use_engine(engine):
+        return {device: record_device(device) for device in GOLDEN_DEVICES}
+
+
+def test_sim_engine(benchmark, tmp_path, monkeypatch):
+    # Private disk root: the cold run must not see traces from earlier
+    # sessions, and the run must not pollute the developer's cache.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+
+    timings: dict[str, float] = {}
+    snapshots: dict[str, dict] = {}
+
+    def run():
+        t0 = time.perf_counter()
+        snapshots["event"] = _matrix("event")
+        t1 = time.perf_counter()
+
+        reset_trace_cache()  # empty memory + (tmp) disk: true cold record
+        t2 = time.perf_counter()
+        snapshots["vectorized"] = _matrix("vectorized")
+        t3 = time.perf_counter()
+
+        reset_trace_cache()  # fresh process analogue: memory gone, disk warm
+        t4 = time.perf_counter()
+        _matrix("vectorized")
+        t5 = time.perf_counter()
+
+        t6 = time.perf_counter()
+        _matrix("vectorized")  # steady state: in-memory trace hits
+        t7 = time.perf_counter()
+
+        timings["event_s"] = t1 - t0
+        timings["vectorized_cold_s"] = t3 - t2
+        timings["vectorized_warm_disk_s"] = t5 - t4
+        timings["vectorized_warm_s"] = t7 - t6
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Parity gate: both engines produced the same golden snapshot.
+    for device in GOLDEN_DEVICES:
+        diffs = compare_snapshots(snapshots["event"][device], snapshots["vectorized"][device])
+        assert not diffs, f"{device}: engines disagree: {diffs[:3]}"
+
+    stats = get_trace_cache().stats
+    assert stats.uncacheable == 0, "golden matrix launches must all be cacheable"
+    reset_trace_cache()
+
+    payload = {
+        "golden_devices": len(GOLDEN_DEVICES),
+        "event_s": round(timings["event_s"], 4),
+        "vectorized_cold_s": round(timings["vectorized_cold_s"], 4),
+        "vectorized_warm_disk_s": round(timings["vectorized_warm_disk_s"], 4),
+        "vectorized_warm_s": round(timings["vectorized_warm_s"], 4),
+        "speedup_cold": round(timings["event_s"] / timings["vectorized_cold_s"], 2),
+        "speedup_warm_disk": round(timings["event_s"] / timings["vectorized_warm_disk_s"], 2),
+        "speedup_warm": round(timings["event_s"] / timings["vectorized_warm_s"], 2),
+    }
+    OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nsim engine timings -> {OUT}")
+    for key, value in sorted(payload.items()):
+        print(f"  {key}: {value}")

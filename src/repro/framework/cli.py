@@ -77,6 +77,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="orientation pre-processing (Section II-B)",
     )
     p.add_argument(
+        "--engine",
+        default=None,
+        choices=("vectorized", "event"),
+        help="simulator engine (default: REPRO_SIM_ENGINE or vectorized)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the top cumulative "
+        "entries to stderr",
+    )
+    p.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -140,6 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        try:
+            return profiler.runcall(_dispatch, args)
+        finally:
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     device = get_device(args.device)
 
     if args.command == "table1":
@@ -157,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
             device=device,
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
+            engine=args.engine,
         )
         if not rec.ok:
             print(f"FAILED: {rec.error}")
@@ -184,6 +211,7 @@ def main(argv: list[str] | None = None) -> int:
             device=device,
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
+            engine=args.engine,
             jobs=args.jobs,
             **resilience_kwargs,
         )
@@ -199,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
             device=device,
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
+            engine=args.engine,
             jobs=args.jobs,
             **resilience_kwargs,
         )
@@ -215,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
             ordering=args.ordering,
             max_blocks_simulated=args.blocks,
             jobs=args.jobs,
+            engine=args.engine,
         )
         best = best_config(points)
         print(f"sweep of {args.algorithm}.{args.key} on {args.dataset}:")

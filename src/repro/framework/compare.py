@@ -116,6 +116,7 @@ def run_matrix(
     ordering: str = "degree",
     max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
     cost_model: CostModel | None = None,
+    engine: str | None = None,
     jobs: int = 1,
     progress: bool = False,
     progress_callback: Callable[[RunRecord, int, int], None] | None = None,
@@ -193,6 +194,7 @@ def run_matrix(
                 "device": device.name,
                 "capacity_device": capacity_device.name,
                 "validate": validate,
+                "engine": engine,
             })
             if resume is not None:
                 completed = journal.completed()
@@ -207,6 +209,7 @@ def run_matrix(
             ordering=ordering,
             max_blocks_simulated=max_blocks_simulated,
             cost_model=cost_model,
+            engine=engine,
             policy=policy,
             validate=validate,
             journal=journal,
@@ -226,6 +229,7 @@ def run_matrix(
                 ordering=ordering,
                 max_blocks_simulated=max_blocks_simulated,
                 cost_model=cost_model,
+                engine=engine,
             )
             records.append(rec)
             _notify(rec, len(records), len(cells))
@@ -240,6 +244,7 @@ def run_matrix(
             ordering=ordering,
             max_blocks_simulated=max_blocks_simulated,
             cost_model=cost_model,
+            engine=engine,
             progress_callback=_notify if callbacks else None,
         )
     return ComparisonMatrix(records=tuple(records), algorithms=algs, datasets=dsets)

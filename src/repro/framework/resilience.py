@@ -305,6 +305,7 @@ def execute_cell(
     ordering: str = "degree",
     max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
     cost_model: CostModel | None = None,
+    engine: str | None = None,
     validate: bool = False,
 ) -> RunRecord:
     """One matrix cell with chaos hooks and optional validation; never raises.
@@ -331,6 +332,7 @@ def execute_cell(
             ordering=ordering,
             max_blocks_simulated=max_blocks_simulated,
             cost_model=cost_model,
+            engine=engine,
         )
         record = chaos_post_run(record, specs=specs)
     except Exception as exc:
@@ -578,7 +580,7 @@ def _mp_context():
 
 
 def _cell_worker(conn, algorithm, dataset, device, capacity_device, ordering,
-                 blocks, cost_model, validate) -> None:
+                 blocks, cost_model, engine, validate) -> None:
     """Subprocess entry point: run one cell attempt, ship the record back."""
     try:
         record = execute_cell(
@@ -589,6 +591,7 @@ def _cell_worker(conn, algorithm, dataset, device, capacity_device, ordering,
             ordering=ordering,
             max_blocks_simulated=blocks,
             cost_model=cost_model,
+            engine=engine,
             validate=validate,
         )
         conn.send(record)
@@ -613,6 +616,7 @@ def _attempt_cell(
     ordering: str,
     blocks: int | None,
     cost_model: CostModel | None,
+    engine: str | None,
     validate: bool,
     timeout_s: float | None,
 ) -> RunRecord:
@@ -627,7 +631,7 @@ def _attempt_cell(
     proc = ctx.Process(
         target=_cell_worker,
         args=(send, algorithm, dataset, device, capacity_device, ordering,
-              blocks, cost_model, validate),
+              blocks, cost_model, engine, validate),
         daemon=True,
     )
     proc.start()
@@ -677,6 +681,7 @@ def run_cell_resilient(
     ordering: str = "degree",
     max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
     cost_model: CostModel | None = None,
+    engine: str | None = None,
     validate: bool = True,
 ) -> RunRecord:
     """Run one cell under the timeout + degrading-retry policy.
@@ -700,6 +705,7 @@ def run_cell_resilient(
                 ordering=ordering,
                 blocks=blocks,
                 cost_model=cost_model,
+                engine=engine,
                 validate=validate,
                 timeout_s=policy.cell_timeout_s,
             )
@@ -758,6 +764,7 @@ def run_cells_resilient(
     ordering: str = "degree",
     max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
     cost_model: CostModel | None = None,
+    engine: str | None = None,
     policy: RetryPolicy | None = None,
     validate: bool = True,
     journal: RunJournal | None = None,
@@ -828,6 +835,7 @@ def run_cells_resilient(
                 ordering=ordering,
                 max_blocks_simulated=max_blocks_simulated,
                 cost_model=cost_model,
+                engine=engine,
                 validate=validate,
             )
 

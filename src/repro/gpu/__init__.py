@@ -8,6 +8,15 @@ counters the paper profiles and a simulated kernel time via the cost model.
 
 from .costmodel import DEFAULT_COST_MODEL, CostModel, estimate_time
 from .coop import group_inclusive_scan, scan_tmp_words
+from .engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    record_launch,
+    replay_launch,
+    resolve_engine,
+    simulate_vectorized,
+    use_engine,
+)
 from .device import (
     DEVICES,
     RTX_4090,
@@ -27,9 +36,12 @@ from .intrinsics import (
     atomic_or_shared,
     ld_global,
     ld_shared,
+    shuffle_scan,
     st_global,
     st_shared,
     syncthreads,
+    syncwarp,
+    warp_exchange,
 )
 from .kernel import KernelConfigError, LaunchResult, launch_kernel
 from .memory import (
@@ -40,10 +52,27 @@ from .memory import (
     coalesce_addresses,
 )
 from .metrics import SECTOR_BYTES, ProfileMetrics
-from .sharedmem import NUM_BANKS, SharedMemory, SharedMemoryOverflow, bank_conflicts
+from .sharedmem import (
+    NUM_BANKS,
+    SharedMemory,
+    SharedMemoryOverflow,
+    bank_conflicts,
+    validate_shared_words,
+)
+from .trace import (
+    LaunchTrace,
+    TraceCache,
+    TraceCacheStats,
+    get_trace_cache,
+    launch_fingerprint,
+    reset_trace_cache,
+    trace_cache_enabled,
+)
 
 __all__ = [
     "DEFAULT_COST_MODEL",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "DEVICES",
     "NUM_BANKS",
     "RTX_4090",
@@ -59,10 +88,13 @@ __all__ = [
     "GlobalMemory",
     "KernelConfigError",
     "LaunchResult",
+    "LaunchTrace",
     "ProfileMetrics",
     "SharedMemory",
     "SharedMemoryOverflow",
     "ThreadCtx",
+    "TraceCache",
+    "TraceCacheStats",
     "alu",
     "atomic_add_global",
     "atomic_add_shared",
@@ -72,13 +104,26 @@ __all__ = [
     "coalesce_addresses",
     "estimate_time",
     "get_device",
+    "get_trace_cache",
     "group_inclusive_scan",
-    "scaled_device",
-    "scan_tmp_words",
+    "launch_fingerprint",
     "launch_kernel",
     "ld_global",
     "ld_shared",
+    "record_launch",
+    "replay_launch",
+    "reset_trace_cache",
+    "resolve_engine",
+    "scaled_device",
+    "scan_tmp_words",
+    "shuffle_scan",
+    "simulate_vectorized",
     "st_global",
     "st_shared",
     "syncthreads",
+    "syncwarp",
+    "trace_cache_enabled",
+    "use_engine",
+    "validate_shared_words",
+    "warp_exchange",
 ]

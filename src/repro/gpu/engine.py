@@ -1,0 +1,617 @@
+"""Record/replay simulator engine and engine selection.
+
+The event executor (:mod:`repro.gpu.warp`) advances one Python generator
+event at a time, interleaving scheduling, functional effects, and metric
+accounting.  This module splits that work in two:
+
+* **record** — :class:`RecordingWarp` reuses the event executor's lockstep
+  scheduler verbatim (site grouping, winner selection, and barrier
+  semantics determine cross-lane results, so both engines must share it)
+  but, instead of accruing metrics and walking caches per instruction,
+  appends one row per issued warp instruction to a
+  :class:`~repro.gpu.trace.BlockTrace`.  Functional effects still execute
+  during record — loads observe memory, stores and atomics mutate it —
+  because they steer the generators' control flow.
+
+* **replay** — :func:`replay_launch` reduces the trace arrays to nvprof
+  counters with vectorised NumPy: per-op totals by ``bincount``, per-group
+  sector coalescing by ``lexsort`` + run-boundary dedup, atomic and shared
+  serialisation degrees by run-length maxima, and the L1/L2 LRU walks by a
+  no-eviction fast path (an LRU whose working set fits never evicts, so
+  misses are exactly first occurrences — ``np.unique`` territory) with the
+  shared :class:`~repro.gpu.memory.SectorCache` as the exact fallback when
+  a stream is large enough to evict.
+
+Replay is metric-identical to the event engine because every counter is a
+pure function of the per-group payload multisets and their issue order,
+both of which the trace preserves; see DESIGN.md §4e for the argument.
+
+Engine selection: ``REPRO_SIM_ENGINE=vectorized|event`` (default
+``vectorized``), overridable per call site via :func:`use_engine` or the
+explicit ``engine=`` arguments threaded through the framework layer.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from .intrinsics import ThreadCtx
+from .memory import DeviceArray, SectorCache
+from .metrics import SECTOR_BYTES, ProfileMetrics
+from .sharedmem import SharedMemory
+from .trace import (
+    OP_ALU,
+    OP_GLOBAL_ATOMIC,
+    OP_GLOBAL_LOAD,
+    OP_GLOBAL_STORE,
+    OP_SHARED_ATOMIC,
+    OP_SHARED_LOAD,
+    OP_SHARED_STORE,
+    OP_SYNC_EVENT,
+    OP_WSYNC,
+    BlockTrace,
+    BlockTraceBuilder,
+    LaunchTrace,
+    dedupe_blocks,
+    get_trace_cache,
+    launch_fingerprint,
+    trace_cache_enabled,
+)
+from .warp import _DONE, Warp
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_ENV_VAR",
+    "DEFAULT_ENGINE",
+    "RecordingWarp",
+    "record_launch",
+    "replay_launch",
+    "resolve_engine",
+    "simulate_vectorized",
+    "use_engine",
+]
+
+ENGINES = ("vectorized", "event")
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+DEFAULT_ENGINE = "vectorized"
+
+_override: list[str] = []
+
+
+def _check_engine(name: str) -> str:
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown simulator engine {name!r}; expected one of {ENGINES} "
+            f"(set {ENGINE_ENV_VAR} or pass engine=...)"
+        )
+    return name
+
+
+def resolve_engine(explicit: str | None = None) -> str:
+    """Engine for the next launch: explicit arg > :func:`use_engine` scope >
+    ``REPRO_SIM_ENGINE`` > the ``vectorized`` default."""
+    if explicit is not None:
+        return _check_engine(explicit)
+    if _override:
+        return _override[-1]
+    env = os.environ.get(ENGINE_ENV_VAR)
+    if env:
+        return _check_engine(env)
+    return DEFAULT_ENGINE
+
+
+@contextmanager
+def use_engine(name: str | None):
+    """Scope an engine choice over a block of launches (``None`` = no-op)."""
+    if name is None:
+        yield
+        return
+    _override.append(_check_engine(name))
+    try:
+        yield
+    finally:
+        _override.pop()
+
+
+# --------------------------------------------------------------------------
+# record phase
+# --------------------------------------------------------------------------
+
+
+class RecordingWarp(Warp):
+    """Warp that runs the lockstep scheduler but emits trace rows.
+
+    Functional effects (loads observe memory, stores/atomics mutate it,
+    cross-lane shuffles exchange values) still execute; metric accounting
+    and cache walks are deferred to replay.  ``writes`` collects every
+    written global array element for the launch's writeback log.
+    """
+
+    def __init__(self, programs, smem: SharedMemory, builder: BlockTraceBuilder, writes: dict):
+        self.smem = smem
+        self.builder = builder
+        self.writes = writes
+        self.gens = list(programs)
+        self.pending = []
+        for gen in self.gens:
+            try:
+                self.pending.append(gen.send(None))
+            except StopIteration:
+                self.pending.append(_DONE)
+
+    # -- engine hooks --------------------------------------------------------
+
+    def _barrier_released(self) -> None:
+        self.builder.emit(OP_SYNC_EVENT, 0)
+
+    def _release_wsync(self, lanes) -> None:
+        self.builder.emit(OP_WSYNC, len(lanes))
+        for lane in lanes:
+            self._advance(lane, None)
+
+    def _note_write(self, darr, idx) -> None:
+        key = id(darr)
+        entry = self.writes.get(key)
+        if entry is None:
+            self.writes[key] = (darr, {idx})
+        else:
+            entry[1].add(idx)
+
+    def _issue(self, op: str, tag, lanes) -> None:
+        pending = self.pending
+        emit = self.builder.emit
+        if op == "g":
+            pay = []
+            for lane in lanes:
+                ev = pending[lane]
+                darr, idx = ev[2], ev[3]
+                pay.append((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
+                self._advance(lane, int(darr.data[idx]))
+            emit(OP_GLOBAL_LOAD, len(lanes), 0, pay)
+        elif op == "a":
+            extra = 0
+            for lane in lanes:
+                ev = pending[lane]
+                if ev[1] > extra:
+                    extra = ev[1]
+                self._advance(lane, None)
+            emit(OP_ALU, len(lanes), extra - 1 if extra > 1 else 0)
+        elif op == "bc":
+            exchanged = {lane: pending[lane][2] for lane in lanes}
+            for lane in lanes:
+                self._advance(lane, exchanged)
+            emit(OP_ALU, len(lanes), 0)
+        elif op == "sc":
+            running = 0
+            results = []
+            for lane in sorted(lanes):
+                running += pending[lane][2]
+                results.append((lane, running))
+            for lane, val in results:
+                self._advance(lane, val)
+            emit(OP_ALU, len(lanes), 5)
+        elif op == "s":
+            pay = []
+            vals = []
+            smem = self.smem
+            for lane in lanes:
+                idx = pending[lane][2]
+                pay.append(idx)
+                vals.append((lane, smem.load(idx)))
+            for lane, v in vals:
+                self._advance(lane, v)
+            emit(OP_SHARED_LOAD, len(lanes), 0, pay)
+        elif op == "ss":
+            pay = []
+            smem = self.smem
+            for lane in lanes:
+                ev = pending[lane]
+                idx = ev[2]
+                pay.append(idx)
+                smem.store(idx, ev[3])
+                self._advance(lane, None)
+            emit(OP_SHARED_STORE, len(lanes), 0, pay)
+        elif op == "sa":
+            pay = []
+            smem = self.smem
+            for lane in lanes:
+                ev = pending[lane]
+                idx = ev[2]
+                pay.append(idx)
+                self._advance(lane, smem.atomic_add(idx, ev[3]))
+            emit(OP_SHARED_ATOMIC, len(lanes), 0, pay)
+        elif op == "gs":
+            pay = []
+            for lane in lanes:
+                ev = pending[lane]
+                darr, idx = ev[2], ev[3]
+                darr.data[idx] = ev[4]
+                self._note_write(darr, idx)
+                pay.append((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
+                self._advance(lane, None)
+            emit(OP_GLOBAL_STORE, len(lanes), 0, pay)
+        elif op == "ga" or op == "go":
+            pay = []
+            for lane in lanes:
+                ev = pending[lane]
+                darr, idx = ev[2], ev[3]
+                pay.append(darr.base + idx * darr.itemsize)
+                old = int(darr.data[idx])
+                darr.data[idx] = old + ev[4] if op == "ga" else old | ev[4]
+                self._note_write(darr, idx)
+                self._advance(lane, old)
+            emit(OP_GLOBAL_ATOMIC, len(lanes), 0, pay)
+        elif op == "so":
+            pay = []
+            smem = self.smem
+            for lane in lanes:
+                ev = pending[lane]
+                idx = ev[2]
+                pay.append(idx)
+                old = smem.load(idx)
+                smem.store(idx, old | ev[3])
+                self._advance(lane, old)
+            emit(OP_SHARED_ATOMIC, len(lanes), 0, pay)
+        else:
+            raise ValueError(f"unknown event opcode {op!r}")
+
+
+def _writeback_log(writes: dict, args) -> tuple | None:
+    """Final values of all written global elements, or ``None`` if the
+    effects cannot be expressed through the argument tuple."""
+    if not writes:
+        return ()
+    pos_by_id = {
+        id(a): i for i, a in enumerate(args) if isinstance(a, DeviceArray)
+    }
+    log = []
+    for key, (darr, idxs) in writes.items():
+        pos = pos_by_id.get(key)
+        if pos is None or not np.issubdtype(darr.data.dtype, np.integer):
+            return None
+        for idx in sorted(idxs):
+            log.append((pos, int(idx), int(darr.data[idx])))
+    return tuple(log)
+
+
+def apply_writeback(trace: LaunchTrace, args) -> None:
+    """Reproduce a cached launch's functional effects on ``args``."""
+    for pos, idx, value in trace.writeback:
+        args[pos].data[idx] = value
+
+
+def record_launch(
+    device,
+    program,
+    *,
+    grid_dim: int,
+    block_dim: int,
+    args: tuple,
+    shared_words: int,
+    blocks: np.ndarray,
+) -> LaunchTrace:
+    """Run the record phase over the selected blocks (same cooperative
+    barrier scheduling as the event path in :mod:`repro.gpu.kernel`)."""
+    writes: dict = {}
+    per_block: list[BlockTrace] = []
+    warp_size = device.warp_size
+    for block in blocks.tolist():
+        smem = SharedMemory(shared_words, device.shared_mem_per_block)
+        ctxs = [
+            ThreadCtx(block, t, block_dim, grid_dim, warp_size, smem)
+            for t in range(block_dim)
+        ]
+        builder = BlockTraceBuilder()
+        warps = [
+            RecordingWarp(
+                (program(ctx, *args) for ctx in ctxs[w : w + warp_size]),
+                smem,
+                builder,
+                writes,
+            )
+            for w in range(0, block_dim, warp_size)
+        ]
+        live = list(warps)
+        while live:
+            states = [w.run_until_barrier() for w in live]
+            at_barrier = [w for w, s in zip(live, states) if s == "barrier"]
+            if not at_barrier:
+                break
+            for w in at_barrier:
+                w.release_barrier()
+            live = at_barrier
+        per_block.append(builder.build())
+    unique, instances = dedupe_blocks(per_block)
+    return LaunchTrace(
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        warp_size=warp_size,
+        blocks=tuple(blocks.tolist()),
+        unique=unique,
+        instances=instances,
+        writeback=_writeback_log(writes, args),
+    )
+
+
+# --------------------------------------------------------------------------
+# replay phase
+# --------------------------------------------------------------------------
+
+_INT64 = np.int64
+
+
+def _run_max_per_group(values: np.ndarray, gids: np.ndarray, n_groups: int) -> np.ndarray:
+    """Per group: the maximum multiplicity of any single value.
+
+    Implements the event engine's ``max(addr_multiplicity.values())`` for
+    every group at once: sort by (group, value), find value-run lengths,
+    then take the per-group maximum with ``np.maximum.reduceat``.
+    """
+    out = np.zeros(n_groups, dtype=_INT64)
+    if values.size == 0:
+        return out
+    order = np.lexsort((values, gids))
+    g = gids[order]
+    v = values[order]
+    run_start = np.ones(g.size, dtype=bool)
+    run_start[1:] = (g[1:] != g[:-1]) | (v[1:] != v[:-1])
+    starts = np.flatnonzero(run_start)
+    run_gid = g[run_start]
+    run_len = np.diff(np.append(starts, g.size))
+    grp_first = np.ones(run_gid.size, dtype=bool)
+    grp_first[1:] = run_gid[1:] != run_gid[:-1]
+    firsts = np.flatnonzero(grp_first)
+    out[run_gid[grp_first]] = np.maximum.reduceat(run_len, firsts)
+    return out
+
+
+def _bank_conflict_degree(words: np.ndarray, gids: np.ndarray, n_groups: int, num_banks: int) -> np.ndarray:
+    """Per group: max distinct words mapped to one bank (replay degree)."""
+    out = np.zeros(n_groups, dtype=_INT64)
+    if words.size == 0:
+        return out
+    banks = words % num_banks
+    order = np.lexsort((words, banks, gids))
+    g = gids[order]
+    b = banks[order]
+    w = words[order]
+    distinct = np.ones(g.size, dtype=bool)
+    distinct[1:] = (g[1:] != g[:-1]) | (b[1:] != b[:-1]) | (w[1:] != w[:-1])
+    dg = g[distinct]
+    db = b[distinct]
+    pair_start = np.ones(dg.size, dtype=bool)
+    pair_start[1:] = (dg[1:] != dg[:-1]) | (db[1:] != db[:-1])
+    starts = np.flatnonzero(pair_start)
+    counts = np.diff(np.append(starts, dg.size))
+    pair_gid = dg[pair_start]
+    grp_first = np.ones(pair_gid.size, dtype=bool)
+    grp_first[1:] = pair_gid[1:] != pair_gid[:-1]
+    firsts = np.flatnonzero(grp_first)
+    out[pair_gid[grp_first]] = np.maximum.reduceat(counts, firsts)
+    return out
+
+
+def _base_reductions(t: BlockTrace) -> tuple[dict, np.ndarray]:
+    """Device-independent counters of one block trace + its global sector
+    stream (per-group deduped sectors, sorted within each group, in issue
+    order — exactly the sequence the event engine feeds the L1)."""
+    memo = t._memo.get("base")
+    if memo is not None:
+        return memo
+    from .sharedmem import NUM_BANKS
+
+    ops = t.ops
+    n = ops.shape[0]
+    sync = ops == OP_SYNC_EVENT
+    c: dict[str, int] = {
+        "warp_steps": int(n - int(sync.sum())),
+        "active_lane_steps": int(t.nlanes.sum()),
+        "sync_events": int(sync.sum()),
+        "alu_cycles": int(t.aux.sum()),
+        "global_load_requests": int((ops == OP_GLOBAL_LOAD).sum()),
+        "global_store_requests": int((ops == OP_GLOBAL_STORE).sum()),
+        "atomic_requests": int((ops == OP_GLOBAL_ATOMIC).sum()),
+        "shared_load_requests": int((ops == OP_SHARED_LOAD).sum()),
+        "shared_store_requests": int(
+            ((ops == OP_SHARED_STORE) | (ops == OP_SHARED_ATOMIC)).sum()
+        ),
+    }
+
+    gid = np.repeat(np.arange(n, dtype=_INT64), t.npay)
+    opg = ops[gid] if gid.size else np.zeros(0, dtype=ops.dtype)
+    pay = t.payload
+
+    # -- global sector coalescing -------------------------------------------
+    load_m = opg == OP_GLOBAL_LOAD
+    store_m = opg == OP_GLOBAL_STORE
+    atom_m = opg == OP_GLOBAL_ATOMIC
+    glob_m = load_m | store_m | atom_m
+    g_gid = gid[glob_m]
+    g_sector = np.where(atom_m[glob_m], pay[glob_m] // SECTOR_BYTES, pay[glob_m])
+    if g_gid.size:
+        order = np.lexsort((g_sector, g_gid))
+        sg = g_gid[order]
+        sv = g_sector[order]
+        keep = np.ones(sg.size, dtype=bool)
+        keep[1:] = (sg[1:] != sg[:-1]) | (sv[1:] != sv[:-1])
+        stream = sv[keep]
+        per_group_sectors = np.bincount(sg[keep], minlength=n)
+    else:
+        stream = np.zeros(0, dtype=_INT64)
+        per_group_sectors = np.zeros(n, dtype=_INT64)
+    c["global_load_transactions"] = int(per_group_sectors[ops == OP_GLOBAL_LOAD].sum())
+    c["global_store_transactions"] = int(per_group_sectors[ops == OP_GLOBAL_STORE].sum())
+
+    # -- atomic serialisation -----------------------------------------------
+    atomic_groups = ops == OP_GLOBAL_ATOMIC
+    atomic_base = int(per_group_sectors[atomic_groups].sum())
+    max_mult = _run_max_per_group(pay[atom_m], gid[atom_m], n)
+    extra = max_mult[atomic_groups] - 1
+    c["atomic_transactions"] = atomic_base + int(extra[extra > 0].sum())
+
+    # -- shared memory: bank conflicts + same-address serialisation ---------
+    conf_m = (opg == OP_SHARED_LOAD) | (opg == OP_SHARED_STORE)
+    conf_deg = _bank_conflict_degree(pay[conf_m], gid[conf_m], n, NUM_BANKS)
+    ser_deg = _run_max_per_group(
+        pay[opg == OP_SHARED_ATOMIC], gid[opg == OP_SHARED_ATOMIC], n
+    )
+    c["shared_load_transactions"] = int(conf_deg[ops == OP_SHARED_LOAD].sum())
+    c["shared_store_transactions"] = int(
+        conf_deg[ops == OP_SHARED_STORE].sum() + ser_deg[ops == OP_SHARED_ATOMIC].sum()
+    )
+
+    memo = (c, stream)
+    t._memo["base"] = memo
+    return memo
+
+
+def _l1_walk(t: BlockTrace, capacity: int) -> tuple[int, np.ndarray]:
+    """(L1 hit count, miss stream in order) for one block's sector stream.
+
+    Fresh-per-block L1 means the walk is a pure function of the trace and
+    the capacity, so it is memoised per capacity on the trace itself —
+    replaying a second device with the same L1 reuses it.
+    """
+    key = ("l1", capacity)
+    memo = t._memo.get(key)
+    if memo is not None:
+        return memo
+    _, stream = _base_reductions(t)
+    if capacity <= 0 or stream.size == 0:
+        memo = (0, stream)
+    else:
+        uniq, first = np.unique(stream, return_index=True)
+        if uniq.size <= capacity:
+            # No eviction possible: misses are exactly first occurrences.
+            miss = np.zeros(stream.size, dtype=bool)
+            miss[first] = True
+            memo = (int(stream.size - uniq.size), stream[miss])
+        else:
+            cache = SectorCache(capacity)
+            hits = cache.access_mask(stream)
+            memo = (int(hits.sum()), stream[~hits])
+    t._memo[key] = memo
+    return memo
+
+
+#: every counter replay produces (requests/transactions + execution shape).
+_REPLAY_FIELDS = (
+    "global_load_requests",
+    "global_load_transactions",
+    "global_store_requests",
+    "global_store_transactions",
+    "atomic_requests",
+    "atomic_transactions",
+    "dram_sectors",
+    "l1_hit_sectors",
+    "shared_load_requests",
+    "shared_load_transactions",
+    "shared_store_requests",
+    "shared_store_transactions",
+    "warp_steps",
+    "active_lane_steps",
+    "alu_cycles",
+    "sync_events",
+)
+
+
+def replay_launch(trace: LaunchTrace, device) -> ProfileMetrics:
+    """Reduce a launch trace to the metrics of one simulated launch."""
+    local = ProfileMetrics(warp_size=device.warp_size)
+    unique = trace.unique
+    if not unique:
+        return local
+    instances = trace.instances
+    mult = np.bincount(instances, minlength=len(unique))
+    l1_cap = device.l1_bytes // SECTOR_BYTES
+    l2_cap = device.l2_bytes // SECTOR_BYTES
+
+    totals = dict.fromkeys(_REPLAY_FIELDS, 0)
+    miss_streams: list[np.ndarray] = []
+    for i, t in enumerate(unique):
+        k = int(mult[i])
+        counters, _ = _base_reductions(t)
+        for name, value in counters.items():
+            totals[name] += value * k
+        l1_hits, missed = _l1_walk(t, l1_cap)
+        totals["l1_hit_sectors"] += l1_hits * k
+        miss_streams.append(missed)
+
+    # L2 persists across blocks within the launch.  If the union of every
+    # block's miss stream fits, the LRU never evicts and DRAM traffic is
+    # exactly the number of distinct sectors — independent of block order
+    # and of how often duplicate blocks replay.  Otherwise walk the shared
+    # SectorCache over the per-block streams in block order, exactly like
+    # the event engine.
+    nonempty = [s for s in miss_streams if s.size]
+    if not nonempty:
+        dram = 0
+    elif l2_cap <= 0:
+        dram = int(sum(int(miss_streams[u].size) for u in instances.tolist()))
+    else:
+        union_size = np.unique(np.concatenate(nonempty)).size
+        if union_size <= l2_cap:
+            dram = int(union_size)
+        else:
+            l2 = SectorCache(l2_cap)
+            dram = 0
+            for u in instances.tolist():
+                s = miss_streams[u]
+                if s.size:
+                    hits = l2.access_mask(s)
+                    dram += int(s.size - int(hits.sum()))
+    totals["dram_sectors"] = dram
+    local.add_counters(totals)
+    return local
+
+
+# --------------------------------------------------------------------------
+# the vectorized engine entry point (called by launch_kernel)
+# --------------------------------------------------------------------------
+
+
+def simulate_vectorized(
+    device,
+    program,
+    *,
+    grid_dim: int,
+    block_dim: int,
+    args: tuple,
+    shared_words: int,
+    blocks: np.ndarray,
+) -> ProfileMetrics:
+    """Record (or fetch from the trace cache) and replay one launch."""
+    key = None
+    if trace_cache_enabled():
+        key = launch_fingerprint(
+            program,
+            args,
+            grid_dim=grid_dim,
+            block_dim=block_dim,
+            shared_words=shared_words,
+            warp_size=device.warp_size,
+            blocks=blocks,
+        )
+    trace = None
+    if key is not None:
+        trace = get_trace_cache().get(key)
+    if trace is None:
+        trace = record_launch(
+            device,
+            program,
+            grid_dim=grid_dim,
+            block_dim=block_dim,
+            args=args,
+            shared_words=shared_words,
+            blocks=blocks,
+        )
+        if key is not None:
+            get_trace_cache().put(key, trace)
+        elif trace_cache_enabled():
+            get_trace_cache().stats.uncacheable += 1
+    else:
+        apply_writeback(trace, args)
+    return replay_launch(trace, device)

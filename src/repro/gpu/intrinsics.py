@@ -50,6 +50,9 @@ __all__ = [
     "atomic_add_shared",
     "alu",
     "syncthreads",
+    "syncwarp",
+    "shuffle_scan",
+    "warp_exchange",
     "ThreadCtx",
 ]
 
@@ -102,6 +105,23 @@ def alu(n: int = 1):
 def syncthreads():
     """Block-wide barrier event."""
     return ("y",)
+
+
+def syncwarp():
+    """Warp-local barrier event (``__syncwarp()``): one issue step."""
+    return ("w",)
+
+
+def shuffle_scan(value: int, tag: str = "sc"):
+    """Warp shuffle inclusive prefix sum; each lane receives its running
+    total over the group's lanes in lane order."""
+    return ("sc", tag, value)
+
+
+def warp_exchange(value: int, tag: str = "bc"):
+    """Warp all-to-all register exchange; every participating lane receives
+    the dict ``{lane: value}`` (the __shfl broadcast loop)."""
+    return ("bc", tag, value)
 
 
 class ThreadCtx:

@@ -24,10 +24,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from .device import DeviceSpec
+from .engine import resolve_engine, simulate_vectorized
 from .intrinsics import ThreadCtx
 from .memory import SectorCache
 from .metrics import ProfileMetrics, SECTOR_BYTES
-from .sharedmem import SharedMemory
+from .sharedmem import SharedMemory, validate_shared_words
 from .warp import Warp
 
 __all__ = ["launch_kernel", "LaunchResult", "KernelConfigError"]
@@ -68,6 +69,7 @@ def launch_kernel(
     shared_words: int = 0,
     metrics: ProfileMetrics | None = None,
     max_blocks_simulated: int | None = None,
+    engine: str | None = None,
 ) -> LaunchResult:
     """Simulate ``program<<<grid_dim, block_dim, shared_words*4>>>(*args)``.
 
@@ -85,6 +87,9 @@ def launch_kernel(
         into it (multi-kernel algorithms pass one accumulator through).
     max_blocks_simulated:
         Enable block sampling (see module docstring).
+    engine:
+        Simulator engine for this launch (``"vectorized"`` / ``"event"``);
+        ``None`` defers to :func:`repro.gpu.engine.resolve_engine`.
 
     Returns
     -------
@@ -97,9 +102,56 @@ def launch_kernel(
         raise KernelConfigError(
             f"block_dim {block_dim} outside [1, {device.max_threads_per_block}]"
         )
+    # Configuration errors must fire regardless of engine: replay never
+    # allocates real shared memory, so check the request up front.
+    validate_shared_words(shared_words, device.shared_mem_per_block)
+    blocks = _select_blocks(grid_dim, max_blocks_simulated)
+    if resolve_engine(engine) == "vectorized":
+        local = simulate_vectorized(
+            device,
+            program,
+            grid_dim=grid_dim,
+            block_dim=block_dim,
+            args=args,
+            shared_words=shared_words,
+            blocks=blocks,
+        )
+    else:
+        local = _run_event(
+            device,
+            program,
+            grid_dim=grid_dim,
+            block_dim=block_dim,
+            args=args,
+            shared_words=shared_words,
+            blocks=blocks,
+        )
+    local.blocks_simulated = len(blocks)
+    local.kernel_launches = 1
+    factor = grid_dim / len(blocks) if len(blocks) else 1.0
+    scaled = local.scaled(factor)
+    scaled.warps_launched = grid_dim * (
+        (block_dim + device.warp_size - 1) // device.warp_size
+    )
+    scaled.blocks_launched = grid_dim
+    if metrics is not None:
+        metrics.merge(scaled)
+    return LaunchResult(metrics=scaled, blocks_total=grid_dim, blocks_simulated=len(blocks))
+
+
+def _run_event(
+    device: DeviceSpec,
+    program,
+    *,
+    grid_dim: int,
+    block_dim: int,
+    args: tuple,
+    shared_words: int,
+    blocks: np.ndarray,
+) -> ProfileMetrics:
+    """The event engine: interleave scheduling, effects, and accounting."""
     local = ProfileMetrics(warp_size=device.warp_size)
     l2 = SectorCache(device.l2_bytes // SECTOR_BYTES)
-    blocks = _select_blocks(grid_dim, max_blocks_simulated)
     for block in blocks.tolist():
         # Fresh per-block L1: blocks land on arbitrary SMs.
         l1 = SectorCache(device.l1_bytes // SECTOR_BYTES)
@@ -128,14 +180,4 @@ def launch_kernel(
             for w in at_barrier:
                 w.release_barrier()
             live = at_barrier
-    local.blocks_simulated = len(blocks)
-    local.kernel_launches = 1
-    factor = grid_dim / len(blocks) if len(blocks) else 1.0
-    scaled = local.scaled(factor)
-    scaled.warps_launched = grid_dim * (
-        (block_dim + device.warp_size - 1) // device.warp_size
-    )
-    scaled.blocks_launched = grid_dim
-    if metrics is not None:
-        metrics.merge(scaled)
-    return LaunchResult(metrics=scaled, blocks_total=grid_dim, blocks_simulated=len(blocks))
+    return local

@@ -137,6 +137,16 @@ class SectorCache:
     kernel launch (blocks execute back to back on the simulator, matching
     how L2 persists across thread blocks).  Hits are served on chip; misses
     are the DRAM traffic the cost model charges against bandwidth.
+
+    Both simulator engines walk the *same* implementation: the event
+    executor calls :meth:`access` one warp instruction at a time, while the
+    replay engine batches a whole block's sector stream through
+    :meth:`access_mask` when the working set is large enough to evict
+    (smaller streams take a cache-free fast path — an LRU that never evicts
+    misses exactly on first occurrences).  Recency is refreshed per touch
+    (true LRU); the former per-sector ``move_to_end`` churn is avoided by
+    keeping recency in plain dict insertion order and by the replay
+    engine's no-eviction fast path skipping the walk entirely.
     """
 
     __slots__ = ("capacity", "slots")
@@ -161,6 +171,29 @@ class SectorCache:
                     del slots[next(iter(slots))]
             slots[s] = None
         return misses
+
+    def access_mask(self, sectors) -> np.ndarray:
+        """Batched :meth:`access`: touch a 1-D sector array in order.
+
+        Returns a boolean *hit* mask aligned with ``sectors`` (``~mask``
+        selects the misses).  State updates are element-for-element
+        identical to looping :meth:`access`, so the two entry points can be
+        mixed on one cache instance.
+        """
+        sectors = np.asarray(sectors)
+        hits = np.zeros(sectors.shape[0], dtype=bool)
+        cap = self.capacity
+        if cap <= 0 or sectors.shape[0] == 0:
+            return hits
+        slots = self.slots
+        for i, s in enumerate(sectors.tolist()):
+            if s in slots:
+                del slots[s]  # refresh recency
+                hits[i] = True
+            elif len(slots) >= cap:
+                del slots[next(iter(slots))]
+            slots[s] = None
+        return hits
 
 
 def coalesce_addresses(addresses) -> int:

@@ -152,6 +152,16 @@ class ProfileMetrics:
         "blocks_simulated",
     )
 
+    def add_counters(self, counters) -> None:
+        """Batched accumulate: add a ``{field: delta}`` mapping in place.
+
+        The replay engine reduces a whole launch to one dict of totals with
+        array operations and lands it here in a single call, instead of the
+        event executor's millions of per-instruction ``+=``.
+        """
+        for name, delta in counters.items():
+            setattr(self, name, getattr(self, name) + delta)
+
     def scaled(self, factor: float) -> "ProfileMetrics":
         """Counters multiplied by ``factor`` (block-sampling extrapolation).
 

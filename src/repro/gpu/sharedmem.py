@@ -12,7 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["SharedMemory", "SharedMemoryOverflow", "bank_conflicts", "NUM_BANKS"]
+__all__ = [
+    "SharedMemory",
+    "SharedMemoryOverflow",
+    "bank_conflicts",
+    "validate_shared_words",
+    "NUM_BANKS",
+]
 
 NUM_BANKS = 32
 WORD_BYTES = 4
@@ -26,6 +32,23 @@ class SharedMemoryOverflow(RuntimeError):
     """
 
 
+def validate_shared_words(num_words: int, device_limit_bytes: int | None) -> None:
+    """Reject a block's shared-memory request if it exceeds the device limit.
+
+    Hoisted out of :class:`SharedMemory` so the kernel launcher can check
+    the configuration *before* dispatching to either simulator engine: a
+    replayed trace never allocates real shared memory, but the launch must
+    still fail on a device whose limit the configuration exceeds.
+    """
+    if num_words < 0:
+        raise ValueError("num_words must be non-negative")
+    if device_limit_bytes is not None and num_words * WORD_BYTES > device_limit_bytes:
+        raise SharedMemoryOverflow(
+            f"block requests {num_words * WORD_BYTES} B shared memory, "
+            f"device allows {device_limit_bytes} B"
+        )
+
+
 class SharedMemory:
     """Per-block scratchpad of 4-byte words addressed by word index.
 
@@ -34,13 +57,7 @@ class SharedMemory:
     """
 
     def __init__(self, num_words: int, device_limit_bytes: int | None = None):
-        if num_words < 0:
-            raise ValueError("num_words must be non-negative")
-        if device_limit_bytes is not None and num_words * WORD_BYTES > device_limit_bytes:
-            raise SharedMemoryOverflow(
-                f"block requests {num_words * WORD_BYTES} B shared memory, "
-                f"device allows {device_limit_bytes} B"
-            )
+        validate_shared_words(num_words, device_limit_bytes)
         self.num_words = num_words
         self.words = np.zeros(num_words, dtype=np.int64)
 

@@ -1,0 +1,443 @@
+"""Typed launch traces for the record/replay simulator engine.
+
+The record phase drains every thread-program generator once — through the
+exact same lockstep scheduler as the event engine — and emits one
+:class:`BlockTrace` per simulated block: parallel NumPy arrays with one row
+per issued warp instruction (opcode, active-lane count, an op-specific
+auxiliary value, payload length) plus a flat payload array holding the
+memory coordinates the instruction touched.  The replay engine
+(:mod:`repro.gpu.engine`) turns these arrays into nvprof counters with
+vectorised reductions instead of per-event Python dispatch.
+
+Traces are device-independent by construction: every payload entry is an
+absolute quantity (32-byte global sector index, global byte address for
+atomics, shared word index) and cache geometry is applied at replay time.
+That is what makes the trace cache profitable — a sweep that varies only
+the device or the cost model replays the same trace under different cache
+capacities without re-running a single generator.  The cache key therefore
+fingerprints exactly the record-phase inputs: the kernel (module-qualified
+program name), the launch configuration (grid/block/shared/warp width and
+the sampled block set), and the *content* of every device-array argument,
+so a multi-kernel algorithm whose later launches consume earlier launches'
+output is keyed by the actual intermediate data.
+
+Cached traces also carry a *writeback log* — the final value of every
+global array element the kernel wrote — so a cache hit reproduces the
+launch's functional effects (triangle counters, intermediate buffers)
+without replaying the generators.  Launches whose effects cannot be
+expressed that way (closure programs, writes to arrays outside the arg
+tuple) are simply never cached; they re-record every time and stay exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph import io
+from .memory import DeviceArray
+
+__all__ = [
+    "BlockTrace",
+    "BlockTraceBuilder",
+    "LaunchTrace",
+    "TraceCache",
+    "TraceCacheStats",
+    "OP_GLOBAL_LOAD",
+    "OP_GLOBAL_STORE",
+    "OP_GLOBAL_ATOMIC",
+    "OP_SHARED_LOAD",
+    "OP_SHARED_STORE",
+    "OP_SHARED_ATOMIC",
+    "OP_ALU",
+    "OP_WSYNC",
+    "OP_SYNC_EVENT",
+    "dedupe_blocks",
+    "get_trace_cache",
+    "launch_fingerprint",
+    "reset_trace_cache",
+    "trace_cache_enabled",
+]
+
+#: Bump to invalidate every previously recorded trace (schema change).
+TRACE_SCHEMA = 1
+
+# Trace opcodes.  The event vocabulary collapses: "ga"/"go" share atomic
+# accounting, "sa"/"so" share same-address serialisation, and "a"/"sc"/"bc"
+# are all pure issue steps distinguished only by their extra ALU cycles
+# (carried in ``aux``).
+OP_GLOBAL_LOAD = 1    # payload: 32 B sector indices touched by the group
+OP_GLOBAL_STORE = 2   # payload: 32 B sector indices
+OP_GLOBAL_ATOMIC = 3  # payload: byte addresses (sector + serialisation)
+OP_SHARED_LOAD = 4    # payload: shared word indices (bank conflicts)
+OP_SHARED_STORE = 5   # payload: shared word indices (bank conflicts)
+OP_SHARED_ATOMIC = 6  # payload: shared word indices (address serialisation)
+OP_ALU = 7            # aux: extra ALU cycles beyond the implicit one
+OP_WSYNC = 8          # released __syncwarp (one issue step, no payload)
+OP_SYNC_EVENT = 9     # block barrier release (sync_events only, no step)
+
+
+class BlockTrace:
+    """Immutable instruction trace of one simulated block.
+
+    Four parallel arrays describe the issued warp instructions in program
+    order (``ops``/``nlanes``/``aux``/``npay``) and ``payload`` holds the
+    concatenated per-instruction memory coordinates (``npay`` entries
+    each).  ``_memo`` caches replay reductions keyed by what they depend on
+    (nothing, or an L1 capacity) — replaying the same trace on a second
+    device reuses the device-independent work.
+    """
+
+    __slots__ = ("ops", "nlanes", "aux", "npay", "payload", "_digest", "_memo")
+
+    def __init__(self, ops, nlanes, aux, npay, payload):
+        self.ops = ops
+        self.nlanes = nlanes
+        self.aux = aux
+        self.npay = npay
+        self.payload = payload
+        self._digest: bytes | None = None
+        self._memo: dict = {}
+
+    @property
+    def digest(self) -> bytes:
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.int64(self.ops.shape[0]).tobytes())
+            h.update(np.int64(self.payload.shape[0]).tobytes())
+            h.update(self.ops.tobytes())
+            h.update(self.nlanes.tobytes())
+            h.update(self.aux.tobytes())
+            h.update(self.npay.tobytes())
+            h.update(self.payload.tobytes())
+            self._digest = h.digest()
+        return self._digest
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.ops.nbytes
+            + self.nlanes.nbytes
+            + self.aux.nbytes
+            + self.npay.nbytes
+            + self.payload.nbytes
+        )
+
+
+class BlockTraceBuilder:
+    """Append-only accumulator the recording warps share within one block."""
+
+    __slots__ = ("ops", "nlanes", "aux", "npay", "payload")
+
+    def __init__(self):
+        self.ops: list[int] = []
+        self.nlanes: list[int] = []
+        self.aux: list[int] = []
+        self.npay: list[int] = []
+        self.payload: list[int] = []
+
+    def emit(self, op: int, nlanes: int, aux: int = 0, payload=()) -> None:
+        self.ops.append(op)
+        self.nlanes.append(nlanes)
+        self.aux.append(aux)
+        self.npay.append(len(payload))
+        if payload:
+            self.payload.extend(payload)
+
+    def build(self) -> BlockTrace:
+        return BlockTrace(
+            np.asarray(self.ops, dtype=np.uint8),
+            np.asarray(self.nlanes, dtype=np.int64),
+            np.asarray(self.aux, dtype=np.int64),
+            np.asarray(self.npay, dtype=np.int64),
+            np.asarray(self.payload, dtype=np.int64),
+        )
+
+
+def dedupe_blocks(traces) -> tuple[list[BlockTrace], np.ndarray]:
+    """Collapse identical block traces (homogeneous grids collapse hard).
+
+    Returns ``(unique, instances)`` where ``instances[i]`` indexes the
+    unique trace of the i-th simulated block, preserving block order.
+    """
+    unique: list[BlockTrace] = []
+    index: dict[bytes, int] = {}
+    instances = np.empty(len(traces), dtype=np.int64)
+    for i, trace in enumerate(traces):
+        key = trace.digest
+        at = index.get(key)
+        if at is None:
+            at = len(unique)
+            index[key] = at
+            unique.append(trace)
+        instances[i] = at
+    return unique, instances
+
+
+@dataclass
+class LaunchTrace:
+    """Everything replay needs for one launch, with blocks deduplicated.
+
+    ``writeback`` is the launch's functional effect: ``(arg position,
+    element index, final value)`` for every global array element the kernel
+    wrote, or ``None`` when those effects cannot be expressed through the
+    argument tuple (such a trace must not be served from the cache).
+    """
+
+    grid_dim: int
+    block_dim: int
+    warp_size: int
+    blocks: tuple[int, ...]
+    unique: list[BlockTrace] = field(repr=False)
+    instances: np.ndarray = field(repr=False)
+    writeback: tuple[tuple[int, int, int], ...] | None
+
+    @property
+    def cacheable(self) -> bool:
+        return self.writeback is not None
+
+    @property
+    def nbytes(self) -> int:
+        wb = 0 if self.writeback is None else 24 * len(self.writeback)
+        return sum(t.nbytes for t in self.unique) + self.instances.nbytes + wb
+
+
+# --------------------------------------------------------------------------
+# launch fingerprinting
+# --------------------------------------------------------------------------
+
+
+def launch_fingerprint(
+    program,
+    args,
+    *,
+    grid_dim: int,
+    block_dim: int,
+    shared_words: int,
+    warp_size: int,
+    blocks,
+) -> str | None:
+    """Hex digest of (kernel, input data, launch config), or ``None``.
+
+    ``None`` means the launch cannot be safely fingerprinted — the program
+    closes over state outside the argument tuple, or an argument's type is
+    unknown to the hasher — and must be recorded on every run.
+    """
+    if getattr(program, "__closure__", None):
+        return None
+    h = hashlib.blake2b(digest_size=20)
+    h.update(
+        f"v{TRACE_SCHEMA}|{program.__module__}.{program.__qualname__}"
+        f"|{grid_dim}|{block_dim}|{shared_words}|{warp_size}|".encode()
+    )
+    h.update(np.asarray(blocks, dtype=np.int64).tobytes())
+    for pos, arg in enumerate(args):
+        if isinstance(arg, DeviceArray):
+            data = np.ascontiguousarray(arg.data)
+            h.update(
+                f"|d{pos}:{arg.name}:{arg.itemsize}:{arg.base}:{data.dtype.str}:".encode()
+            )
+            h.update(data.tobytes())
+        elif isinstance(arg, (bool, int, np.integer)):
+            h.update(f"|i{pos}:{int(arg)}".encode())
+        elif isinstance(arg, (float, np.floating)):
+            h.update(f"|f{pos}:{float(arg)!r}".encode())
+        elif isinstance(arg, str):
+            h.update(f"|s{pos}:{arg}".encode())
+        elif arg is None:
+            h.update(f"|n{pos}".encode())
+        elif isinstance(arg, np.ndarray):
+            data = np.ascontiguousarray(arg)
+            h.update(f"|a{pos}:{data.dtype.str}:{data.shape}".encode())
+            h.update(data.tobytes())
+        elif isinstance(arg, tuple) and all(
+            isinstance(x, (bool, int, np.integer)) for x in arg
+        ):
+            h.update(f"|t{pos}:{','.join(str(int(x)) for x in arg)}".encode())
+        else:
+            return None
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------------
+# trace cache: in-memory LRU + the shared on-disk array store
+# --------------------------------------------------------------------------
+
+
+def trace_cache_enabled() -> bool:
+    """False when ``REPRO_TRACE_CACHE`` is set to ``0``/``off``/``false``."""
+    return os.environ.get("REPRO_TRACE_CACHE", "1").lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def _memory_budget_bytes() -> int:
+    """In-memory trace budget (``REPRO_TRACE_CACHE_MB``, default 256 MB)."""
+    try:
+        mb = float(os.environ.get("REPRO_TRACE_CACHE_MB", "256"))
+    except ValueError:
+        mb = 256.0
+    return int(mb * 1e6)
+
+
+@dataclass
+class TraceCacheStats:
+    """Observability for tests and the benchmark harness."""
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    uncacheable: int = 0
+    evictions: int = 0
+
+
+def _trace_to_arrays(trace: LaunchTrace) -> dict[str, np.ndarray]:
+    empty = np.zeros(0, dtype=np.int64)
+    cat = lambda parts, dtype: (
+        np.concatenate([np.asarray(p) for p in parts]) if parts else empty.astype(dtype)
+    )
+    wb = np.asarray(trace.writeback or (), dtype=np.int64).reshape(-1, 3)
+    return {
+        "meta": np.array(
+            [TRACE_SCHEMA, trace.grid_dim, trace.block_dim, trace.warp_size],
+            dtype=np.int64,
+        ),
+        "blocks": np.asarray(trace.blocks, dtype=np.int64),
+        "instances": trace.instances,
+        "groups_per_trace": np.array([t.ops.shape[0] for t in trace.unique], dtype=np.int64),
+        "payload_per_trace": np.array(
+            [t.payload.shape[0] for t in trace.unique], dtype=np.int64
+        ),
+        "ops": cat([t.ops for t in trace.unique], np.uint8),
+        "nlanes": cat([t.nlanes for t in trace.unique], np.int64),
+        "aux": cat([t.aux for t in trace.unique], np.int64),
+        "npay": cat([t.npay for t in trace.unique], np.int64),
+        "payload": cat([t.payload for t in trace.unique], np.int64),
+        "writeback": wb,
+    }
+
+
+def _trace_from_arrays(arrays: dict[str, np.ndarray]) -> LaunchTrace | None:
+    try:
+        meta = arrays["meta"]
+        if int(meta[0]) != TRACE_SCHEMA:
+            return None
+        g_split = np.cumsum(arrays["groups_per_trace"])[:-1]
+        p_split = np.cumsum(arrays["payload_per_trace"])[:-1]
+        ops = np.split(arrays["ops"].astype(np.uint8, copy=False), g_split)
+        nlanes = np.split(arrays["nlanes"], g_split)
+        aux = np.split(arrays["aux"], g_split)
+        npay = np.split(arrays["npay"], g_split)
+        payload = np.split(arrays["payload"], p_split)
+        unique = [
+            BlockTrace(o, n, a, c, p)
+            for o, n, a, c, p in zip(ops, nlanes, aux, npay, payload)
+        ]
+        writeback = tuple(
+            (int(p), int(i), int(v)) for p, i, v in arrays["writeback"]
+        )
+        return LaunchTrace(
+            grid_dim=int(meta[1]),
+            block_dim=int(meta[2]),
+            warp_size=int(meta[3]),
+            blocks=tuple(int(b) for b in arrays["blocks"]),
+            unique=unique,
+            instances=arrays["instances"].astype(np.int64, copy=False),
+            writeback=writeback,
+        )
+    except (KeyError, IndexError, ValueError):
+        return None
+
+
+class TraceCache:
+    """Two-layer launch-trace cache: in-memory LRU over the disk store.
+
+    The memory layer holds live :class:`LaunchTrace` objects (including
+    their replay memos) under a byte budget; the disk layer piggybacks on
+    the replica cache's atomic, checksummed ``.npz`` store
+    (:mod:`repro.graph.io`), so traces survive across processes and CI
+    steps and honour ``REPRO_CACHE_DIR`` / ``REPRO_DISK_CACHE``.
+    """
+
+    def __init__(self, max_bytes: int | None = None):
+        self._max_bytes = max_bytes
+        self._entries: dict[str, LaunchTrace] = {}
+        self._bytes = 0
+        self.stats = TraceCacheStats()
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes if self._max_bytes is not None else _memory_budget_bytes()
+
+    @staticmethod
+    def _disk_key(key: str) -> str:
+        return f"trace-{key}-v{TRACE_SCHEMA}"
+
+    def get(self, key: str) -> LaunchTrace | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            del self._entries[key]  # refresh recency
+            self._entries[key] = entry
+            self.stats.hits += 1
+            return entry
+        arrays = io.load_cached_arrays(self._disk_key(key))
+        if arrays is not None:
+            trace = _trace_from_arrays(arrays)
+            if trace is not None:
+                self.stats.disk_hits += 1
+                self._insert(key, trace)
+                return trace
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, trace: LaunchTrace) -> None:
+        if not trace.cacheable:
+            self.stats.uncacheable += 1
+            return
+        self.stats.stores += 1
+        self._insert(key, trace)
+        if io.disk_cache_enabled():
+            io.store_cached_arrays(self._disk_key(key), **_trace_to_arrays(trace))
+
+    def _insert(self, key: str, trace: LaunchTrace) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._entries[key] = trace
+        self._bytes += trace.nbytes
+        budget = self.max_bytes
+        while self._bytes > budget and len(self._entries) > 1:
+            victim_key = next(iter(self._entries))
+            self._bytes -= self._entries.pop(victim_key).nbytes
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the memory layer and reset stats (the disk layer persists)."""
+        self._entries.clear()
+        self._bytes = 0
+        self.stats = TraceCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_CACHE = TraceCache()
+
+
+def get_trace_cache() -> TraceCache:
+    """The process-wide trace cache the vectorised engine records into."""
+    return _CACHE
+
+
+def reset_trace_cache(max_bytes: int | None = None) -> TraceCache:
+    """Replace the process-wide cache (tests and benchmarks isolate with this)."""
+    global _CACHE
+    _CACHE = TraceCache(max_bytes)
+    return _CACHE

@@ -17,6 +17,14 @@ site, and issues each group as one warp instruction:
 ``__syncthreads`` is cooperative: :meth:`Warp.run_until_barrier` returns
 ``"barrier"`` once every live lane is parked at a sync event, and the block
 scheduler (:mod:`repro.gpu.kernel`) releases all warps together.
+
+The scheduling loop (:meth:`Warp._step`) is shared with the record phase of
+the vectorised engine (:mod:`repro.gpu.engine`): site selection and
+tie-breaking determine cross-lane results (shuffle scans, atomic old
+values), so both engines must run the *same* scheduler.  Only the per-group
+effect is engine-specific, factored into the :meth:`Warp._issue`,
+:meth:`Warp._release_wsync` and :meth:`Warp._barrier_released` hooks that
+the recording subclass overrides.
 """
 
 from __future__ import annotations
@@ -79,12 +87,17 @@ class Warp:
                 self._advance(i, None)
                 released = True
         if released:
-            self.metrics.sync_events += 1
+            self._barrier_released()
 
     # -- internals ----------------------------------------------------------
 
     def _memory_access(self, sectors) -> None:
-        """Walk a warp access through the L1 → L2 → DRAM hierarchy."""
+        """Walk a warp access through the L1 → L2 → DRAM hierarchy.
+
+        ``sectors`` is an *ascending* list: both engines feed the LRU
+        caches in sorted order, so the walk (and with it every hit/miss
+        counter) is a deterministic function of the sector set.
+        """
         m = self.metrics
         if self.l1 is not None:
             missed = self.l1.access(sectors)
@@ -146,137 +159,151 @@ class Warp:
             if any(p is _AT_WSYNC for p in pending):
                 # __syncwarp: release immediately (warp-local barrier); this
                 # still costs one issue step like the hardware instruction.
-                self.metrics.warp_steps += 1
-                self.metrics.active_lane_steps += sum(
-                    1 for p in pending if p is _AT_WSYNC
+                self._release_wsync(
+                    [lane for lane, p in enumerate(pending) if p is _AT_WSYNC]
                 )
-                for lane, p in enumerate(pending):
-                    if p is _AT_WSYNC:
-                        self._advance(lane, None)
                 return None
             if any(p is _AT_SYNC for p in pending):
                 return "barrier"
             return "done"
-        m = self.metrics
-        for (op, _tag), lanes in groups.items():
-            m.warp_steps += 1
-            m.active_lane_steps += len(lanes)
-            if op == "g":
-                sectors = set()
-                for lane in lanes:
-                    ev = pending[lane]
-                    darr, idx = ev[2], ev[3]
-                    sectors.add((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
-                    self._advance(lane, int(darr.data[idx]))
-                m.global_load_requests += 1
-                m.global_load_transactions += len(sectors)
-                self._memory_access(sectors)
-            elif op == "a":
-                extra = 0
-                for lane in lanes:
-                    ev = pending[lane]
-                    if ev[1] > extra:
-                        extra = ev[1]
-                    self._advance(lane, None)
-                # The step itself already cost one issue cycle.
-                if extra > 1:
-                    m.alu_cycles += extra - 1
-            elif op == "bc":
-                # Warp broadcast exchange: ``("bc", tag, value)`` returns
-                # every participating lane the dict {lane: value} — the
-                # all-to-all register exchange a __shfl loop performs.
-                # One issue step, like the shuffle instruction sequence.
-                exchanged = {lane: pending[lane][2] for lane in lanes}
-                for lane in lanes:
-                    self._advance(lane, exchanged)
-            elif op == "sc":
-                # Warp shuffle inclusive prefix sum: ``("sc", tag, value)``
-                # returns each lane its inclusive sum over the group's lanes
-                # in lane order.  Costs log2(warp) ALU steps like a
-                # register shuffle scan; only issues once every runnable
-                # lane has arrived (see the selection rule above).
-                running = 0
-                results = []
-                for lane in sorted(lanes):
-                    running += pending[lane][2]
-                    results.append((lane, running))
-                m.alu_cycles += 5
-                for lane, val in results:
-                    self._advance(lane, val)
-            elif op == "s":
-                words: dict[int, set] = {}
-                vals = []
-                for lane in lanes:
-                    idx = pending[lane][2]
-                    words.setdefault(idx % NUM_BANKS, set()).add(idx)
-                    vals.append((lane, self.smem.load(idx)))
-                m.shared_load_requests += 1
-                m.shared_load_transactions += max(len(w) for w in words.values())
-                for lane, v in vals:
-                    self._advance(lane, v)
-            elif op == "ss":
-                words = {}
-                for lane in lanes:
-                    ev = pending[lane]
-                    idx = ev[2]
-                    words.setdefault(idx % NUM_BANKS, set()).add(idx)
-                    self.smem.store(idx, ev[3])
-                    self._advance(lane, None)
-                m.shared_store_requests += 1
-                m.shared_store_transactions += max(len(w) for w in words.values())
-            elif op == "sa":
-                addr_multiplicity: dict[int, int] = {}
-                for lane in lanes:
-                    ev = pending[lane]
-                    idx = ev[2]
-                    addr_multiplicity[idx] = addr_multiplicity.get(idx, 0) + 1
-                    old = self.smem.atomic_add(idx, ev[3])
-                    self._advance(lane, old)
-                m.shared_store_requests += 1
-                # Same-address shared atomics serialise fully.
-                m.shared_store_transactions += max(addr_multiplicity.values())
-            elif op == "gs":
-                sectors = set()
-                for lane in lanes:
-                    ev = pending[lane]
-                    darr, idx = ev[2], ev[3]
-                    darr.data[idx] = ev[4]
-                    sectors.add((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
-                    self._advance(lane, None)
-                m.global_store_requests += 1
-                m.global_store_transactions += len(sectors)
-                self._memory_access(sectors)
-            elif op == "ga" or op == "go":
-                # Global atomics: "ga" adds, "go" ORs (bitmap sets).  Both
-                # return the old value and serialise on address conflicts.
-                addr_multiplicity = {}
-                sectors = set()
-                for lane in lanes:
-                    ev = pending[lane]
-                    darr, idx = ev[2], ev[3]
-                    addr = darr.base + idx * darr.itemsize
-                    sectors.add(addr // SECTOR_BYTES)
-                    addr_multiplicity[addr] = addr_multiplicity.get(addr, 0) + 1
-                    old = int(darr.data[idx])
-                    darr.data[idx] = old + ev[4] if op == "ga" else old | ev[4]
-                    self._advance(lane, old)
-                m.atomic_requests += 1
-                # Conflicting atomics serialise: charge the worst chain as
-                # replayed transactions on top of the touched sectors.
-                m.atomic_transactions += len(sectors) + max(addr_multiplicity.values()) - 1
-                self._memory_access(sectors)
-            elif op == "so":
-                # Shared atomic OR (bitmap set in shared memory).
-                addr_multiplicity = {}
-                for lane in lanes:
-                    ev = pending[lane]
-                    idx = ev[2]
-                    addr_multiplicity[idx] = addr_multiplicity.get(idx, 0) + 1
-                    old = self.smem.load(idx)
-                    self.smem.store(idx, old | ev[3])
-                    self._advance(lane, old)
-                m.shared_store_requests += 1
-                m.shared_store_transactions += max(addr_multiplicity.values())
-            else:
-                raise ValueError(f"unknown event opcode {op!r}")
+        ((op, tag), lanes), = groups.items()
+        self._issue(op, tag, lanes)
         return None
+
+    # -- engine-specific hooks (overridden by the recording subclass) -------
+
+    def _barrier_released(self) -> None:
+        """A block barrier this warp participated in has opened."""
+        self.metrics.sync_events += 1
+
+    def _release_wsync(self, lanes) -> None:
+        """Open a warp-local ``__syncwarp`` barrier for ``lanes``."""
+        self.metrics.warp_steps += 1
+        self.metrics.active_lane_steps += len(lanes)
+        for lane in lanes:
+            self._advance(lane, None)
+
+    def _issue(self, op: str, tag, lanes) -> None:
+        """Execute one selected instruction site for its active ``lanes``."""
+        pending = self.pending
+        m = self.metrics
+        m.warp_steps += 1
+        m.active_lane_steps += len(lanes)
+        if op == "g":
+            sectors = set()
+            for lane in lanes:
+                ev = pending[lane]
+                darr, idx = ev[2], ev[3]
+                sectors.add((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
+                self._advance(lane, int(darr.data[idx]))
+            m.global_load_requests += 1
+            m.global_load_transactions += len(sectors)
+            self._memory_access(sorted(sectors))
+        elif op == "a":
+            extra = 0
+            for lane in lanes:
+                ev = pending[lane]
+                if ev[1] > extra:
+                    extra = ev[1]
+                self._advance(lane, None)
+            # The step itself already cost one issue cycle.
+            if extra > 1:
+                m.alu_cycles += extra - 1
+        elif op == "bc":
+            # Warp broadcast exchange: ``("bc", tag, value)`` returns
+            # every participating lane the dict {lane: value} — the
+            # all-to-all register exchange a __shfl loop performs.
+            # One issue step, like the shuffle instruction sequence.
+            exchanged = {lane: pending[lane][2] for lane in lanes}
+            for lane in lanes:
+                self._advance(lane, exchanged)
+        elif op == "sc":
+            # Warp shuffle inclusive prefix sum: ``("sc", tag, value)``
+            # returns each lane its inclusive sum over the group's lanes
+            # in lane order.  Costs log2(warp) ALU steps like a
+            # register shuffle scan; only issues once every runnable
+            # lane has arrived (see the selection rule above).
+            running = 0
+            results = []
+            for lane in sorted(lanes):
+                running += pending[lane][2]
+                results.append((lane, running))
+            m.alu_cycles += 5
+            for lane, val in results:
+                self._advance(lane, val)
+        elif op == "s":
+            words: dict[int, set] = {}
+            vals = []
+            for lane in lanes:
+                idx = pending[lane][2]
+                words.setdefault(idx % NUM_BANKS, set()).add(idx)
+                vals.append((lane, self.smem.load(idx)))
+            m.shared_load_requests += 1
+            m.shared_load_transactions += max(len(w) for w in words.values())
+            for lane, v in vals:
+                self._advance(lane, v)
+        elif op == "ss":
+            words = {}
+            for lane in lanes:
+                ev = pending[lane]
+                idx = ev[2]
+                words.setdefault(idx % NUM_BANKS, set()).add(idx)
+                self.smem.store(idx, ev[3])
+                self._advance(lane, None)
+            m.shared_store_requests += 1
+            m.shared_store_transactions += max(len(w) for w in words.values())
+        elif op == "sa":
+            addr_multiplicity: dict[int, int] = {}
+            for lane in lanes:
+                ev = pending[lane]
+                idx = ev[2]
+                addr_multiplicity[idx] = addr_multiplicity.get(idx, 0) + 1
+                old = self.smem.atomic_add(idx, ev[3])
+                self._advance(lane, old)
+            m.shared_store_requests += 1
+            # Same-address shared atomics serialise fully.
+            m.shared_store_transactions += max(addr_multiplicity.values())
+        elif op == "gs":
+            sectors = set()
+            for lane in lanes:
+                ev = pending[lane]
+                darr, idx = ev[2], ev[3]
+                darr.data[idx] = ev[4]
+                sectors.add((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
+                self._advance(lane, None)
+            m.global_store_requests += 1
+            m.global_store_transactions += len(sectors)
+            self._memory_access(sorted(sectors))
+        elif op == "ga" or op == "go":
+            # Global atomics: "ga" adds, "go" ORs (bitmap sets).  Both
+            # return the old value and serialise on address conflicts.
+            addr_multiplicity = {}
+            sectors = set()
+            for lane in lanes:
+                ev = pending[lane]
+                darr, idx = ev[2], ev[3]
+                addr = darr.base + idx * darr.itemsize
+                sectors.add(addr // SECTOR_BYTES)
+                addr_multiplicity[addr] = addr_multiplicity.get(addr, 0) + 1
+                old = int(darr.data[idx])
+                darr.data[idx] = old + ev[4] if op == "ga" else old | ev[4]
+                self._advance(lane, old)
+            m.atomic_requests += 1
+            # Conflicting atomics serialise: charge the worst chain as
+            # replayed transactions on top of the touched sectors.
+            m.atomic_transactions += len(sectors) + max(addr_multiplicity.values()) - 1
+            self._memory_access(sorted(sectors))
+        elif op == "so":
+            # Shared atomic OR (bitmap set in shared memory).
+            addr_multiplicity = {}
+            for lane in lanes:
+                ev = pending[lane]
+                idx = ev[2]
+                addr_multiplicity[idx] = addr_multiplicity.get(idx, 0) + 1
+                old = self.smem.load(idx)
+                self.smem.store(idx, old | ev[3])
+                self._advance(lane, old)
+            m.shared_store_requests += 1
+            m.shared_store_transactions += max(addr_multiplicity.values())
+        else:
+            raise ValueError(f"unknown event opcode {op!r}")

@@ -17,17 +17,28 @@ layer that closes that gap:
 * :mod:`repro.verify.invariants` — metamorphic count invariants
   (relabelling, disjoint union, padding, duplicate idempotence) and
   simulator metric invariants (efficiency range, transactions/request
-  floor, sampling consistency, parallel determinism).
+  floor, sampling consistency, parallel determinism);
+* :mod:`repro.verify.engines` — event vs vectorised simulator-engine
+  parity: full metric diffs on fuzzed graphs with shrinking, plus a
+  fixture x algorithm snapshot diff between the engines.
 
 Drive it from a shell::
 
     python -m repro.verify golden --check
     python -m repro.verify golden --update
     python -m repro.verify fuzz --seeds 25 --max-edges 400
+    python -m repro.verify engines --seeds 10
     python -m repro.verify invariants
 """
 
 from .differential import FuzzReport, count_all, disagreements, fuzz_one, run_fuzz
+from .engines import (
+    EngineReport,
+    engine_fuzz_one,
+    engine_mismatches,
+    fixture_parity,
+    run_engine_fuzz,
+)
 from .fixtures import GOLDEN_BLOCKS, GOLDEN_DEVICES, fixture_csr, fixture_edges, fixture_names
 from .goldens import (
     GoldenDiff,
@@ -43,6 +54,7 @@ from .invariants import InvariantResult, run_invariants
 from .shrink import ddmin
 
 __all__ = [
+    "EngineReport",
     "FuzzReport",
     "GOLDEN_BLOCKS",
     "GOLDEN_DEVICES",
@@ -53,6 +65,9 @@ __all__ = [
     "count_all",
     "ddmin",
     "disagreements",
+    "engine_fuzz_one",
+    "engine_mismatches",
+    "fixture_parity",
     "fixture_csr",
     "fixture_edges",
     "fixture_names",
@@ -60,6 +75,7 @@ __all__ = [
     "golden_path",
     "load_goldens",
     "record_device",
+    "run_engine_fuzz",
     "run_fuzz",
     "run_invariants",
     "update_goldens",

@@ -5,6 +5,7 @@
     python -m repro.verify golden --check          # diff against tests/goldens
     python -m repro.verify golden --update         # regenerate the snapshots
     python -m repro.verify fuzz --seeds 25 --max-edges 400
+    python -m repro.verify engines --seeds 10          # event vs vectorized
     python -m repro.verify invariants --seeds 8
 
 Exit status is 0 only when every check passes; ``golden --check`` names
@@ -18,6 +19,7 @@ import argparse
 import sys
 
 from .differential import run_fuzz
+from .engines import ENGINE_FUZZ_EDGE_LIMIT, fixture_parity, run_engine_fuzz
 from .fixtures import GOLDEN_DEVICES
 from .goldens import DEFAULT_ATOL, DEFAULT_RTOL, check_device, golden_path, update_goldens
 from .invariants import run_invariants
@@ -58,6 +60,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="failure bundle directory (default: .cache/failures)",
     )
+
+    e = sub.add_parser("engines", help="event vs vectorized engine parity")
+    e.add_argument("--seeds", type=int, default=10, help="number of fuzz seeds (default 10)")
+    e.add_argument(
+        "--start-seed", type=int, default=0,
+        help="first seed (CI lanes window the seed space with this)",
+    )
+    e.add_argument(
+        "--max-edges", type=int, default=ENGINE_FUZZ_EDGE_LIMIT,
+        help="raw edge budget per case (both engines run full-grid)",
+    )
+    e.add_argument("--no-shrink", action="store_true", help="skip delta-debugging failures")
+    e.add_argument(
+        "--artifact-root",
+        default=None,
+        help="mismatch bundle directory (default: .cache/engine-failures)",
+    )
+    e.add_argument(
+        "--skip-fixtures",
+        action="store_true",
+        help="skip the fixture x algorithm snapshot diff (fuzz only)",
+    )
+    e.add_argument("--rtol", type=float, default=DEFAULT_RTOL, help="float tolerance")
 
     i = sub.add_parser("invariants", help="metamorphic + simulator invariant catalogue")
     i.add_argument("--seeds", type=int, default=6, help="random graphs per metamorphic check")
@@ -124,6 +149,49 @@ def _cmd_fuzz(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_engines(args) -> int:
+    failures = 0
+
+    def progress(report) -> None:
+        nonlocal failures
+        if report.ok:
+            print(
+                f"seed {report.seed:>4} [{report.strategy}] "
+                f"{report.edges.shape[0]} edges: parity ok"
+            )
+        else:
+            failures += 1
+            shrunk = report.shrunk_edges
+            size = shrunk.shape[0] if shrunk is not None else report.edges.shape[0]
+            print(
+                f"seed {report.seed:>4} [{report.strategy}] MISMATCH "
+                f"{sorted(report.mismatches)} shrunk to {size} edges "
+                f"-> {report.artifact_dir}"
+            )
+
+    run_engine_fuzz(
+        range(args.start_seed, args.start_seed + args.seeds),
+        max_edges=args.max_edges,
+        shrink=not args.no_shrink,
+        artifact_root=args.artifact_root,
+        rtol=args.rtol,
+        progress=progress,
+    )
+    print(f"{args.seeds} seeds, {failures} mismatch(es)")
+    status = 1 if failures else 0
+    if not args.skip_fixtures:
+        for device in GOLDEN_DEVICES:
+            diffs = fixture_parity(device, rtol=args.rtol)
+            if diffs:
+                status = 1
+                print(f"{device}: {len(diffs)} engine-parity diff(s) on fixtures:")
+                for diff in diffs:
+                    print(f"  {diff}")
+            else:
+                print(f"{device}: fixture matrix parity ok")
+    return status
+
+
 def _cmd_invariants(args) -> int:
     results = run_invariants(seeds=args.seeds, include_parallel=not args.skip_parallel)
     for result in results:
@@ -139,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_golden(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "engines":
+        return _cmd_engines(args)
     if args.command == "invariants":
         return _cmd_invariants(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

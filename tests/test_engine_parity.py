@@ -1,0 +1,223 @@
+"""Event vs vectorised engine parity: identical counters, counts, and times.
+
+The vectorised record/replay engine must be indistinguishable from the
+event executor on every metric the study reports.  Integer counters are
+compared exactly (no tolerance — an unsampled launch's counters are whole
+numbers even in float fields); derived float metrics at rtol=1e-6.
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    GlobalMemory,
+    ProfileMetrics,
+    launch_kernel,
+    resolve_engine,
+    use_engine,
+)
+from repro.gpu.device import SIM_RTX_4090, SIM_V100, get_device
+from repro.gpu.engine import DEFAULT_ENGINE
+from repro.gpu.intrinsics import (
+    alu,
+    atomic_add_global,
+    atomic_add_shared,
+    atomic_or_global,
+    atomic_or_shared,
+    ld_global,
+    ld_shared,
+    shuffle_scan,
+    st_global,
+    st_shared,
+    syncthreads,
+    syncwarp,
+    warp_exchange,
+)
+from repro.verify.engines import engine_mismatches, fixture_parity
+from repro.verify.fixtures import GOLDEN_DEVICES, fixture_csr, fixture_names
+
+
+# --------------------------------------------------------------------------
+# full matrix parity (every algorithm x fixture x device, sampled launches)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("device_name", GOLDEN_DEVICES)
+def test_fixture_matrix_parity(device_name):
+    """The whole golden fixture x algorithm snapshot matches across engines."""
+    assert fixture_parity(device_name) == []
+
+
+# --------------------------------------------------------------------------
+# unsampled parity: exact counters + device triangle counts
+# --------------------------------------------------------------------------
+
+
+def _unsampled_snapshots(fixture, device):
+    from repro.algorithms.base import all_algorithms
+
+    csr = fixture_csr(fixture)
+    out = {}
+    for engine in ("event", "vectorized"):
+        with use_engine(engine):
+            per_alg = {}
+            for cls in all_algorithms():
+                alg = cls()
+                result = alg.profile(csr, device=device, max_blocks_simulated=None)
+                snap = result.metrics.as_dict()
+                snap["triangles"] = result.triangles
+                snap["device_triangles"] = result.device_triangles
+                snap["sim_time_s"] = result.sim_time_s
+                per_alg[alg.name] = snap
+            out[engine] = per_alg
+    return out
+
+
+@pytest.mark.parametrize("fixture", ["wheel-24", "star-cliques"])
+def test_unsampled_parity_exact(fixture):
+    """Full-grid launches: every metric agrees, counters exactly."""
+    snaps = _unsampled_snapshots(fixture, SIM_V100)
+    for alg, ev in snaps["event"].items():
+        vc = snaps["vectorized"][alg]
+        assert set(ev) == set(vc)
+        for metric, a in ev.items():
+            b = vc[metric]
+            if isinstance(a, float) and not float(a).is_integer():
+                assert b == pytest.approx(a, rel=1e-6), f"{alg}/{metric}"
+            else:
+                assert a == b, f"{alg}/{metric}: event={a} vectorized={b}"
+        assert vc["device_triangles"] == ev["device_triangles"]
+
+
+def test_engine_mismatches_empty_on_random_graph():
+    rng = np.random.default_rng(7)
+    edges = rng.integers(0, 24, size=(90, 2))
+    assert engine_mismatches(edges) == {}
+
+
+# --------------------------------------------------------------------------
+# opcode zoo: one kernel exercising the whole event vocabulary
+# --------------------------------------------------------------------------
+
+
+def _zoo_kernel(ctx, n, data, out, flags):
+    """Touches every event type, with divergence and cross-lane traffic."""
+    i = ctx.tid
+    if i >= n:
+        return
+    v = yield ld_global(data, i, "ld")
+    yield st_shared(ctx.tid_in_block, v, "spill")
+    yield syncthreads()
+    w = yield ld_shared((ctx.tid_in_block * 3 + 1) % max(ctx.block_dim, 1), "gather")
+    if i % 2:  # divergent site: odd lanes pay extra ALU + a scattered load
+        yield alu(3)
+        w += yield ld_global(data, (i * 7) % n, "scatter")
+    s = yield shuffle_scan(v, "scan")
+    exchanged = yield warp_exchange(v % 5, "ex")
+    yield syncwarp()
+    yield atomic_add_shared(0, v, "cnt")
+    yield atomic_or_shared(1, 1 << (i % 31), "bits")
+    yield syncthreads()
+    yield st_global(out, i, v + w + s + len(exchanged), "res")
+    yield atomic_add_global(out, n, v, "acc")
+    yield atomic_or_global(flags, i % 3, 1 << (i % 7), "flag")
+
+
+def _run_zoo(engine, device, n=173, block_dim=64, max_blocks=None):
+    gm = GlobalMemory(device)
+    rng = np.random.default_rng(41)
+    data = gm.alloc("data", rng.integers(0, 100, size=n, dtype=np.int64))
+    out = gm.zeros("out", n + 1)
+    flags = gm.zeros("flags", 3)
+    metrics = ProfileMetrics(warp_size=device.warp_size)
+    grid = -(-n // block_dim)
+    with use_engine(engine):
+        launch_kernel(
+            device,
+            _zoo_kernel,
+            grid_dim=grid,
+            block_dim=block_dim,
+            args=(n, data, out, flags),
+            shared_words=block_dim,
+            metrics=metrics,
+            max_blocks_simulated=max_blocks,
+        )
+    return metrics.as_dict(), out.data.copy(), flags.data.copy()
+
+
+def test_zoo_kernel_parity_full_grid():
+    m_ev, out_ev, fl_ev = _run_zoo("event", SIM_V100)
+    m_vc, out_vc, fl_vc = _run_zoo("vectorized", SIM_V100)
+    assert m_ev == m_vc
+    np.testing.assert_array_equal(out_ev, out_vc)
+    np.testing.assert_array_equal(fl_ev, fl_vc)
+
+
+def test_zoo_kernel_parity_sampled():
+    m_ev, _, _ = _run_zoo("event", SIM_RTX_4090, n=1031, max_blocks=4)
+    m_vc, _, _ = _run_zoo("vectorized", SIM_RTX_4090, n=1031, max_blocks=4)
+    assert m_ev == m_vc
+
+
+def test_zoo_kernel_parity_tiny_caches():
+    """Capacities small enough to evict force the exact LRU-walk fallback."""
+    tiny = dataclasses.replace(SIM_V100, l1_bytes=4 * 32, l2_bytes=8 * 32)
+    m_ev, out_ev, _ = _run_zoo("event", tiny)
+    m_vc, out_vc, _ = _run_zoo("vectorized", tiny)
+    assert m_ev == m_vc
+    assert m_vc["dram_sectors"] > 0
+    np.testing.assert_array_equal(out_ev, out_vc)
+
+
+def test_zoo_kernel_parity_no_caches():
+    bare = dataclasses.replace(SIM_V100, l1_bytes=0, l2_bytes=0)
+    m_ev, _, _ = _run_zoo("event", bare)
+    m_vc, _, _ = _run_zoo("vectorized", bare)
+    assert m_ev == m_vc
+    assert m_vc["l1_hit_sectors"] == 0
+
+
+# --------------------------------------------------------------------------
+# engine selection
+# --------------------------------------------------------------------------
+
+
+def test_resolve_engine_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+    assert resolve_engine() == DEFAULT_ENGINE == "vectorized"
+
+
+def test_resolve_engine_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "event")
+    assert resolve_engine() == "event"
+    # use_engine scope beats the environment; explicit arg beats both.
+    with use_engine("vectorized"):
+        assert resolve_engine() == "vectorized"
+        assert resolve_engine("event") == "event"
+    assert resolve_engine() == "event"
+
+
+def test_resolve_engine_invalid(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "warp-drive")
+    with pytest.raises(ValueError, match="warp-drive"):
+        resolve_engine()
+    monkeypatch.delenv("REPRO_SIM_ENGINE")
+    with pytest.raises(ValueError, match="unknown simulator engine"):
+        resolve_engine("turbo")
+    with pytest.raises(ValueError):
+        with use_engine("turbo"):
+            pass  # pragma: no cover - context must refuse to enter
+
+
+def test_use_engine_none_is_noop(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+    with use_engine(None):
+        assert resolve_engine() == "vectorized"
+
+
+def test_fixture_names_stable():
+    """The parity matrix above really covers the full fixture set."""
+    assert len(fixture_names()) >= 6
