@@ -1,0 +1,13 @@
+"""``python -m repro`` — shorthand for the framework CLI.
+
+Keeps the long-standing ``python -m repro.framework.cli`` entry point
+working while making the documented invocations (``python -m repro
+profile GroupTC As-Caida``) a module shorter.
+"""
+
+import sys
+
+from .framework.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

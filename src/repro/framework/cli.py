@@ -26,6 +26,9 @@ import sys
 from ..algorithms.base import algorithm_names, get_algorithm
 from ..gpu.device import get_device
 from ..graph.datasets import dataset_names, load_oriented
+from ..obs.attribution import LINE_FIELDS
+from ..obs.tracer import LEVELS
+from ..obs.tracer import configure as configure_tracer
 from .compare import run_matrix
 from .report import (
     matrix_to_csv,
@@ -121,6 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check small/medium cells against the exact CPU "
         "reference; mismatches are quarantined as status=invalid",
     )
+    log = p.add_mutually_exclusive_group()
+    log.add_argument(
+        "--log-level",
+        default=None,
+        choices=tuple(LEVELS),
+        help="structured telemetry level (default: $REPRO_LOG or off); "
+        "with --run-id, events also land in .cache/runs/<id>/telemetry.jsonl",
+    )
+    log.add_argument(
+        "--quiet",
+        action="store_true",
+        help="telemetry errors only (shorthand for --log-level error)",
+    )
+    log.add_argument(
+        "--verbose",
+        action="store_true",
+        help="full debug telemetry on stderr (shorthand for --log-level debug)",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="regenerate Table I (algorithm taxonomy)")
@@ -147,11 +168,36 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("key", help="config key, e.g. chunk / edges_per_warp")
     w.add_argument("values", help="comma-separated integer values")
 
+    pr = sub.add_parser(
+        "profile",
+        help="nvprof-style profile of one cell: per-kernel counters and "
+        "source-line hotspots, optional Chrome timeline export",
+    )
+    pr.add_argument("algorithm", help="which implementation")
+    pr.add_argument("dataset", help="Table II dataset name")
+    pr.add_argument("--top", type=int, default=10, help="hotspot lines to show")
+    pr.add_argument(
+        "--key",
+        default="global_load_requests",
+        choices=LINE_FIELDS,
+        help="counter the hotspot ranking sorts by",
+    )
+    pr.add_argument(
+        "--export-trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome/Perfetto trace-event JSON timeline here",
+    )
+
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    level = args.log_level or ("error" if args.quiet else "debug" if args.verbose else None)
+    # A resumed run logs into the original run's directory, so the journal
+    # and its telemetry stay side by side across interruptions.
+    configure_tracer(level=level, run_id=args.run_id or getattr(args, "resume", None))
     if args.profile:
         import cProfile
         import pstats
@@ -195,6 +241,50 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"warp eff   : {rec.warp_execution_efficiency:.2f}")
         print(f"gld t/r    : {rec.gld_transactions_per_request:.2f}")
         print(f"requests   : {rec.global_load_requests:.0f}")
+        return 0
+
+    if args.command == "profile":
+        # Heavy renderers load lazily: the simulator core must not pay for
+        # report/timeline imports on non-profile commands.
+        from ..obs.chrome import timeline_to_trace, validate_trace, write_trace
+        from ..obs.report import render_report
+        from ..obs.session import profile_run
+        from ..obs.timeline import build_timeline
+
+        session = profile_run(
+            args.algorithm,
+            args.dataset,
+            engine=args.engine,
+            max_blocks_simulated=args.blocks,
+            ordering=args.ordering,
+            device=device,
+        )
+        rec = session.record
+        if not rec.ok:
+            print(f"FAILED: {rec.error}")
+            return 1
+        title = f"{rec.algorithm} on {rec.dataset} ({rec.device})"
+        print(render_report(session.collector, key=args.key, top=args.top, title=title))
+        if args.export_trace:
+            if not session.launches:
+                # Only the vectorised engine records launch traces; the
+                # event engine has nothing to place on the SM timeline.
+                print(
+                    "no launches captured (timeline export needs the "
+                    "vectorized engine) — skipping trace export"
+                )
+                return 0
+            timeline = build_timeline(session.launches)
+            trace = timeline_to_trace(timeline, telemetry_events=session.events)
+            problems = validate_trace(trace)
+            if problems:  # pragma: no cover - defensive
+                print(f"WARNING: exported trace failed validation: {problems[:3]}")
+            write_trace(trace, args.export_trace)
+            print(
+                f"wrote Chrome trace: {args.export_trace} "
+                f"({len(trace['traceEvents'])} events, "
+                f"{timeline.sm_count} SM tracks, load in chrome://tracing)"
+            )
         return 0
 
     resilience_kwargs = dict(

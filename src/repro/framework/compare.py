@@ -16,6 +16,7 @@ from ..algorithms.base import algorithm_names
 from ..gpu.costmodel import CostModel
 from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
 from ..graph.datasets import dataset_names
+from ..obs.tracer import get_tracer
 from .runner import DEFAULT_MAX_BLOCKS, RunRecord, run_one
 
 __all__ = ["ComparisonMatrix", "MAXIMIZE_METRICS", "metric_maximizes", "run_matrix"]
@@ -152,6 +153,14 @@ def run_matrix(
     algs = tuple(algorithms) if algorithms else tuple(algorithm_names())
     dsets = tuple(datasets) if datasets else tuple(dataset_names())
     cells = [(alg, ds) for ds in dsets for alg in algs]
+    get_tracer().info(
+        "matrix",
+        algorithms=len(algs),
+        datasets=len(dsets),
+        cells=len(cells),
+        jobs=jobs,
+        engine=engine or "",
+    )
 
     callbacks: list[Callable[[RunRecord, int, int], None]] = []
     if progress_callback is not None:
@@ -163,7 +172,17 @@ def run_matrix(
 
         callbacks.append(_print_progress)
 
+    tracer = get_tracer()
+
     def _notify(rec: RunRecord, done: int, total: int) -> None:
+        tracer.info(
+            "cell_complete",
+            algorithm=rec.algorithm,
+            dataset=rec.dataset,
+            status=rec.status,
+            done=done,
+            total=total,
+        )
         for cb in callbacks:
             cb(rec, done, total)
 
@@ -214,7 +233,7 @@ def run_matrix(
             validate=validate,
             journal=journal,
             completed=completed,
-            progress_callback=_notify if callbacks else None,
+            progress_callback=_notify,
         )
         return ComparisonMatrix(records=tuple(records), algorithms=algs, datasets=dsets)
 
@@ -245,6 +264,6 @@ def run_matrix(
             max_blocks_simulated=max_blocks_simulated,
             cost_model=cost_model,
             engine=engine,
-            progress_callback=_notify if callbacks else None,
+            progress_callback=_notify,
         )
     return ComparisonMatrix(records=tuple(records), algorithms=algs, datasets=dsets)

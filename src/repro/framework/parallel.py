@@ -32,6 +32,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from ..gpu.costmodel import CostModel
 from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
 from ..graph.datasets import warm_cache
+from ..obs.tracer import absorb_forwarded, get_tracer
 from .resilience import (
     LEGACY_CRASH_ENV,
     _failed_record,
@@ -104,7 +105,7 @@ def run_cells(
     if jobs == 1:
         records = []
         for alg, ds in cells:
-            rec = _run_cell(alg, ds, *common)
+            rec = absorb_forwarded(_run_cell(alg, ds, *common))
             records.append(rec)
             if progress_callback is not None:
                 progress_callback(rec, len(records), total)
@@ -114,12 +115,16 @@ def run_cells(
     # warm memory cache, spawned workers hit the disk cache.  Without this,
     # workers would race to (re)build the same graphs.
     warm_cache(sorted({ds for _, ds in cells}), orderings=(ordering,), strict=False)
+    get_tracer().info("fanout", jobs=jobs, cells=total)
 
     results: list[RunRecord | None] = [None] * total
     done = 0
 
     def _finish(i: int, rec: RunRecord) -> None:
         nonlocal done
+        # Re-emit worker telemetry here (completion order, before the
+        # progress callback) so the parent's sinks see spans as they land.
+        absorb_forwarded(rec)
         results[i] = rec
         done += 1
         if progress_callback is not None:

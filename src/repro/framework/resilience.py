@@ -51,6 +51,7 @@ from ..gpu.costmodel import CostModel
 from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
 from ..graph import io as gio
 from ..graph.datasets import get_spec, load_oriented, size_class, warm_cache
+from ..obs.tracer import absorb_forwarded, attach_forwarded, forwarding_buffer, get_tracer
 from .runner import DEFAULT_MAX_BLOCKS, RunRecord, run_one_safe
 
 __all__ = [
@@ -313,35 +314,55 @@ def execute_cell(
     This is the shared worker body: the process-pool executor
     (:mod:`repro.framework.parallel`) and the resilient per-cell
     subprocesses both run cells through here, so fault injection and
-    quarantine behave identically on every execution path.
+    quarantine behave identically on every execution path.  Telemetry
+    emitted while the cell runs is buffered and attached to the record
+    (:func:`repro.obs.tracer.attach_forwarded`) so worker-process spans
+    reach the parent's sinks over the existing result channel.
     """
     specs = chaos_from_env()
-    try:
-        chaos_pre_run(
-            _algorithm_name(algorithm),
-            dataset,
-            ordering=ordering,
+    with forwarding_buffer() as buf:
+        with get_tracer().span(
+            "cell",
+            level="info",
+            algorithm=_algorithm_name(algorithm),
+            dataset=dataset,
+            engine=engine or "",
             blocks=max_blocks_simulated,
-            specs=specs,
-        )
-        record = run_one_safe(
-            algorithm,
-            dataset,
-            device=device,
-            capacity_device=capacity_device,
-            ordering=ordering,
-            max_blocks_simulated=max_blocks_simulated,
-            cost_model=cost_model,
-            engine=engine,
-        )
-        record = chaos_post_run(record, specs=specs)
-    except Exception as exc:
-        # run_one_safe already captures algorithm errors; this catches the
-        # chaos hooks and anything raised before run_one_safe is entered.
-        return _failed_record(algorithm, dataset, device, exc)
-    if validate:
-        record = validate_record(record, ordering=ordering)
-    return record
+        ) as span:
+            try:
+                chaos_pre_run(
+                    _algorithm_name(algorithm),
+                    dataset,
+                    ordering=ordering,
+                    blocks=max_blocks_simulated,
+                    specs=specs,
+                )
+                record = run_one_safe(
+                    algorithm,
+                    dataset,
+                    device=device,
+                    capacity_device=capacity_device,
+                    ordering=ordering,
+                    max_blocks_simulated=max_blocks_simulated,
+                    cost_model=cost_model,
+                    engine=engine,
+                )
+                record = chaos_post_run(record, specs=specs)
+            except Exception as exc:
+                # run_one_safe already captures algorithm errors; this catches
+                # the chaos hooks and anything raised before run_one_safe.
+                record = _failed_record(algorithm, dataset, device, exc)
+            if validate and record.status == "ok":
+                record = validate_record(record, ordering=ordering)
+            span.set(status=record.status)
+            if record.status == "failed":
+                get_tracer().warning(
+                    "cell_failed",
+                    algorithm=record.algorithm,
+                    dataset=record.dataset,
+                    error=record.error or "",
+                )
+    return attach_forwarded(record, buf.events)
 
 
 # --------------------------------------------------------------------------
@@ -384,6 +405,13 @@ def validate_record(
         return record
     want = expected_triangles(record.dataset, ordering)
     if int(record.triangles) != want:
+        get_tracer().warning(
+            "cell_quarantined",
+            algorithm=record.algorithm,
+            dataset=record.dataset,
+            reported=int(record.triangles),
+            expected=want,
+        )
         return dataclasses.replace(
             record,
             status="invalid",
@@ -712,12 +740,28 @@ def run_cell_resilient(
         except CellTimeout as exc:
             timeouts += 1
             last_timeout = exc
+            get_tracer().warning(
+                "cell_timeout",
+                algorithm=_algorithm_name(algorithm),
+                dataset=dataset,
+                attempt=attempt + 1,
+                blocks=blocks,
+                timeout_s=policy.cell_timeout_s,
+            )
             if attempt + 1 >= policy.max_attempts:
                 break
             time.sleep(policy.backoff_s(attempt))
             blocks = policy.next_blocks(blocks)
             continue
         if timeouts and record.status == "ok" and blocks != initial:
+            get_tracer().warning(
+                "cell_degraded",
+                algorithm=_algorithm_name(algorithm),
+                dataset=dataset,
+                initial_blocks=initial,
+                final_blocks=blocks,
+                timeouts=timeouts,
+            )
             record = dataclasses.replace(
                 record,
                 status="degraded",
@@ -732,7 +776,15 @@ def run_cell_resilient(
                     },
                 },
             )
-        return record
+        return absorb_forwarded(record)
+    get_tracer().error(
+        "cell_exhausted",
+        algorithm=_algorithm_name(algorithm),
+        dataset=dataset,
+        attempts=policy.max_attempts,
+        timeouts=timeouts,
+        final_blocks=blocks,
+    )
     record = _failed_record(
         algorithm, dataset, device,
         last_timeout or CellTimeout("cell timed out"),
@@ -798,11 +850,19 @@ def run_cells_resilient(
         else:
             pending.append(i)
 
+    if len(pending) < total:
+        get_tracer().info(
+            "resume_skip", skipped=total - len(pending), pending=len(pending), total=total
+        )
+
     done = 0
     lock = threading.Lock()
 
     def _finish(i: int, record: RunRecord, *, fresh: bool) -> None:
         nonlocal done
+        # Worker telemetry (if any survived this far) must never reach the
+        # journal: pop and re-emit it locally before persisting the record.
+        absorb_forwarded(record)
         with lock:
             results[i] = record
             done += 1

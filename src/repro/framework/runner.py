@@ -21,6 +21,7 @@ from ..gpu.memory import DeviceOutOfMemory
 from ..gpu.sharedmem import SharedMemoryOverflow
 from ..graph.csr import CSRGraph
 from ..graph.datasets import get_spec, load_oriented, size_class
+from ..obs.tracer import get_tracer
 
 __all__ = [
     "RunRecord",
@@ -129,6 +130,7 @@ def run_one(
     alg = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
     csr = load_oriented(dataset, ordering)
     regime = size_class(dataset)
+    tracer = get_tracer()
     try:
         footprint = paper_scale_footprint(alg, dataset, csr, capacity_device)
         if footprint > capacity_device.global_mem_bytes:
@@ -137,7 +139,9 @@ def run_one(
                 f"paper scale; {capacity_device.name} has "
                 f"{capacity_device.global_mem_bytes / 1e9:.1f} GB"
             )
-        with use_engine(engine):
+        with use_engine(engine), tracer.span(
+            "run", level="debug", algorithm=alg.name, dataset=dataset, device=device.name
+        ):
             result = alg.profile(
                 csr,
                 device=device,
@@ -146,6 +150,9 @@ def run_one(
                 dataset=dataset,
             )
     except (DeviceOutOfMemory, SharedMemoryOverflow) as exc:
+        tracer.warning(
+            "run_failed", algorithm=alg.name, dataset=dataset, error=str(exc)
+        )
         return RunRecord(
             algorithm=alg.name,
             dataset=dataset,

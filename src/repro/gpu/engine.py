@@ -38,6 +38,15 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from ..obs.attribution import (
+    LINE_FIELDS,
+    LocationTable,
+    active_collector,
+    capture_active,
+    innermost_location,
+    notify_launch,
+)
+from ..obs.tracer import get_tracer
 from .intrinsics import ThreadCtx
 from .memory import DeviceArray, SectorCache
 from .metrics import SECTOR_BYTES, ProfileMetrics
@@ -69,6 +78,7 @@ __all__ = [
     "RecordingWarp",
     "record_launch",
     "replay_launch",
+    "replay_line_profile",
     "resolve_engine",
     "simulate_vectorized",
     "use_engine",
@@ -128,12 +138,26 @@ class RecordingWarp(Warp):
     cross-lane shuffles exchange values) still execute; metric accounting
     and cache walks are deferred to replay.  ``writes`` collects every
     written global array element for the launch's writeback log.
+
+    Every emitted row carries the interned source location of the yield
+    that produced it (``locs`` is the launch-wide table).  Recording the
+    location unconditionally — not only when a profiler is attached — is
+    what makes attribution survive trace-cache round-trips: a warm hit
+    replays per-line counters without re-running a single generator.
     """
 
-    def __init__(self, programs, smem: SharedMemory, builder: BlockTraceBuilder, writes: dict):
+    def __init__(
+        self,
+        programs,
+        smem: SharedMemory,
+        builder: BlockTraceBuilder,
+        writes: dict,
+        locs: LocationTable | None = None,
+    ):
         self.smem = smem
         self.builder = builder
         self.writes = writes
+        self.locs = locs if locs is not None else LocationTable()
         self.gens = list(programs)
         self.pending = []
         for gen in self.gens:
@@ -148,7 +172,8 @@ class RecordingWarp(Warp):
         self.builder.emit(OP_SYNC_EVENT, 0)
 
     def _release_wsync(self, lanes) -> None:
-        self.builder.emit(OP_WSYNC, len(lanes))
+        loc = self.locs.intern(innermost_location(self.gens[lanes[0]]))
+        self.builder.emit(OP_WSYNC, len(lanes), loc=loc)
         for lane in lanes:
             self._advance(lane, None)
 
@@ -163,6 +188,9 @@ class RecordingWarp(Warp):
     def _issue(self, op: str, tag, lanes) -> None:
         pending = self.pending
         emit = self.builder.emit
+        # Lane 0's suspended frame names the source line for the whole site
+        # (all lanes share the instruction); read it before advancing.
+        loc = self.locs.intern(innermost_location(self.gens[lanes[0]]))
         if op == "g":
             pay = []
             for lane in lanes:
@@ -170,7 +198,7 @@ class RecordingWarp(Warp):
                 darr, idx = ev[2], ev[3]
                 pay.append((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
                 self._advance(lane, int(darr.data[idx]))
-            emit(OP_GLOBAL_LOAD, len(lanes), 0, pay)
+            emit(OP_GLOBAL_LOAD, len(lanes), 0, pay, loc)
         elif op == "a":
             extra = 0
             for lane in lanes:
@@ -178,12 +206,12 @@ class RecordingWarp(Warp):
                 if ev[1] > extra:
                     extra = ev[1]
                 self._advance(lane, None)
-            emit(OP_ALU, len(lanes), extra - 1 if extra > 1 else 0)
+            emit(OP_ALU, len(lanes), extra - 1 if extra > 1 else 0, loc=loc)
         elif op == "bc":
             exchanged = {lane: pending[lane][2] for lane in lanes}
             for lane in lanes:
                 self._advance(lane, exchanged)
-            emit(OP_ALU, len(lanes), 0)
+            emit(OP_ALU, len(lanes), 0, loc=loc)
         elif op == "sc":
             running = 0
             results = []
@@ -192,7 +220,7 @@ class RecordingWarp(Warp):
                 results.append((lane, running))
             for lane, val in results:
                 self._advance(lane, val)
-            emit(OP_ALU, len(lanes), 5)
+            emit(OP_ALU, len(lanes), 5, loc=loc)
         elif op == "s":
             pay = []
             vals = []
@@ -203,7 +231,7 @@ class RecordingWarp(Warp):
                 vals.append((lane, smem.load(idx)))
             for lane, v in vals:
                 self._advance(lane, v)
-            emit(OP_SHARED_LOAD, len(lanes), 0, pay)
+            emit(OP_SHARED_LOAD, len(lanes), 0, pay, loc)
         elif op == "ss":
             pay = []
             smem = self.smem
@@ -213,7 +241,7 @@ class RecordingWarp(Warp):
                 pay.append(idx)
                 smem.store(idx, ev[3])
                 self._advance(lane, None)
-            emit(OP_SHARED_STORE, len(lanes), 0, pay)
+            emit(OP_SHARED_STORE, len(lanes), 0, pay, loc)
         elif op == "sa":
             pay = []
             smem = self.smem
@@ -222,7 +250,7 @@ class RecordingWarp(Warp):
                 idx = ev[2]
                 pay.append(idx)
                 self._advance(lane, smem.atomic_add(idx, ev[3]))
-            emit(OP_SHARED_ATOMIC, len(lanes), 0, pay)
+            emit(OP_SHARED_ATOMIC, len(lanes), 0, pay, loc)
         elif op == "gs":
             pay = []
             for lane in lanes:
@@ -232,7 +260,7 @@ class RecordingWarp(Warp):
                 self._note_write(darr, idx)
                 pay.append((darr.base + idx * darr.itemsize) // SECTOR_BYTES)
                 self._advance(lane, None)
-            emit(OP_GLOBAL_STORE, len(lanes), 0, pay)
+            emit(OP_GLOBAL_STORE, len(lanes), 0, pay, loc)
         elif op == "ga" or op == "go":
             pay = []
             for lane in lanes:
@@ -243,7 +271,7 @@ class RecordingWarp(Warp):
                 darr.data[idx] = old + ev[4] if op == "ga" else old | ev[4]
                 self._note_write(darr, idx)
                 self._advance(lane, old)
-            emit(OP_GLOBAL_ATOMIC, len(lanes), 0, pay)
+            emit(OP_GLOBAL_ATOMIC, len(lanes), 0, pay, loc)
         elif op == "so":
             pay = []
             smem = self.smem
@@ -254,7 +282,7 @@ class RecordingWarp(Warp):
                 old = smem.load(idx)
                 smem.store(idx, old | ev[3])
                 self._advance(lane, old)
-            emit(OP_SHARED_ATOMIC, len(lanes), 0, pay)
+            emit(OP_SHARED_ATOMIC, len(lanes), 0, pay, loc)
         else:
             raise ValueError(f"unknown event opcode {op!r}")
 
@@ -298,6 +326,9 @@ def record_launch(
     writes: dict = {}
     per_block: list[BlockTrace] = []
     warp_size = device.warp_size
+    # One location table per launch: block traces share ids, so identical
+    # blocks still deduplicate and the table serialises once per trace.
+    locs = LocationTable()
     for block in blocks.tolist():
         smem = SharedMemory(shared_words, device.shared_mem_per_block)
         ctxs = [
@@ -311,6 +342,7 @@ def record_launch(
                 smem,
                 builder,
                 writes,
+                locs,
             )
             for w in range(0, block_dim, warp_size)
         ]
@@ -333,6 +365,7 @@ def record_launch(
         unique=unique,
         instances=instances,
         writeback=_writeback_log(writes, args),
+        locations=locs.as_tuple(),
     )
 
 
@@ -394,10 +427,11 @@ def _bank_conflict_degree(words: np.ndarray, gids: np.ndarray, n_groups: int, nu
     return out
 
 
-def _base_reductions(t: BlockTrace) -> tuple[dict, np.ndarray]:
-    """Device-independent counters of one block trace + its global sector
+def _base_reductions(t: BlockTrace) -> tuple[dict, np.ndarray, np.ndarray]:
+    """Device-independent counters of one block trace, its global sector
     stream (per-group deduped sectors, sorted within each group, in issue
-    order — exactly the sequence the event engine feeds the L1)."""
+    order — exactly the sequence the event engine feeds the L1), and the
+    per-row deduped sector counts (source-line attribution weights)."""
     memo = t._memo.get("base")
     if memo is not None:
         return memo
@@ -463,7 +497,7 @@ def _base_reductions(t: BlockTrace) -> tuple[dict, np.ndarray]:
         conf_deg[ops == OP_SHARED_STORE].sum() + ser_deg[ops == OP_SHARED_ATOMIC].sum()
     )
 
-    memo = (c, stream)
+    memo = (c, stream, per_group_sectors)
     t._memo["base"] = memo
     return memo
 
@@ -479,7 +513,7 @@ def _l1_walk(t: BlockTrace, capacity: int) -> tuple[int, np.ndarray]:
     memo = t._memo.get(key)
     if memo is not None:
         return memo
-    _, stream = _base_reductions(t)
+    _, stream, _ = _base_reductions(t)
     if capacity <= 0 or stream.size == 0:
         memo = (0, stream)
     else:
@@ -533,7 +567,7 @@ def replay_launch(trace: LaunchTrace, device) -> ProfileMetrics:
     miss_streams: list[np.ndarray] = []
     for i, t in enumerate(unique):
         k = int(mult[i])
-        counters, _ = _base_reductions(t)
+        counters, _, _ = _base_reductions(t)
         for name, value in counters.items():
             totals[name] += value * k
         l1_hits, missed = _l1_walk(t, l1_cap)
@@ -568,6 +602,52 @@ def replay_launch(trace: LaunchTrace, device) -> ProfileMetrics:
     return local
 
 
+def replay_line_profile(trace: LaunchTrace, warp_size: int) -> dict[tuple[str, int], list[int]]:
+    """Per-source-line counters of one launch trace (unscaled block sums).
+
+    Returns ``{(file, line): [reqs, transactions, warp_steps, lane_loss]}``
+    in :data:`repro.obs.attribution.LINE_FIELDS` order — the exact
+    aggregation the event engine performs live, computed here with
+    ``bincount`` over the trace's ``loc`` stream.  Requests and steps
+    count rows; transactions weight load rows by their deduped sector
+    counts; lane loss weights non-barrier rows by the inactive lanes of
+    each issue step.
+    """
+    n_loc = len(trace.locations)
+    if not trace.unique or n_loc <= 1:
+        return {}
+    req = np.zeros(n_loc)
+    trans = np.zeros(n_loc)
+    steps = np.zeros(n_loc)
+    loss = np.zeros(n_loc)
+    mult = np.bincount(trace.instances, minlength=len(trace.unique))
+    for i, t in enumerate(trace.unique):
+        k = int(mult[i])
+        if not k or not t.ops.shape[0]:
+            continue
+        _, _, per_group_sectors = _base_reductions(t)
+        loc = t.loc.astype(np.int64, copy=False)
+        load = t.ops == OP_GLOBAL_LOAD
+        issue = t.ops != OP_SYNC_EVENT
+        req += k * np.bincount(loc[load], minlength=n_loc)
+        trans += k * np.bincount(
+            loc[load], weights=per_group_sectors[load].astype(float), minlength=n_loc
+        )
+        steps += k * np.bincount(loc[issue], minlength=n_loc)
+        loss += k * np.bincount(
+            loc[issue],
+            weights=(warp_size - t.nlanes[issue]).astype(float),
+            minlength=n_loc,
+        )
+    out: dict[tuple[str, int], list[int]] = {}
+    for i in range(1, n_loc):  # 0 is the "no location" sentinel
+        if req[i] or trans[i] or steps[i] or loss[i]:
+            out[trace.locations[i]] = [
+                int(req[i]), int(trans[i]), int(steps[i]), int(loss[i]),
+            ]
+    return out
+
+
 # --------------------------------------------------------------------------
 # the vectorized engine entry point (called by launch_kernel)
 # --------------------------------------------------------------------------
@@ -584,6 +664,8 @@ def simulate_vectorized(
     blocks: np.ndarray,
 ) -> ProfileMetrics:
     """Record (or fetch from the trace cache) and replay one launch."""
+    tracer = get_tracer()
+    kernel = getattr(program, "__qualname__", repr(program))
     key = None
     if trace_cache_enabled():
         key = launch_fingerprint(
@@ -599,19 +681,32 @@ def simulate_vectorized(
     if key is not None:
         trace = get_trace_cache().get(key)
     if trace is None:
-        trace = record_launch(
-            device,
-            program,
-            grid_dim=grid_dim,
-            block_dim=block_dim,
-            args=args,
-            shared_words=shared_words,
-            blocks=blocks,
-        )
+        with tracer.span(
+            "record", level="debug", kernel=kernel, blocks=len(blocks), cached=False
+        ):
+            trace = record_launch(
+                device,
+                program,
+                grid_dim=grid_dim,
+                block_dim=block_dim,
+                args=args,
+                shared_words=shared_words,
+                blocks=blocks,
+            )
         if key is not None:
             get_trace_cache().put(key, trace)
         elif trace_cache_enabled():
             get_trace_cache().stats.uncacheable += 1
     else:
         apply_writeback(trace, args)
-    return replay_launch(trace, device)
+    with tracer.span("replay", level="debug", kernel=kernel, device=device.name):
+        local = replay_launch(trace, device)
+    # Attribution and timeline capture fire on cache hits too: the trace
+    # carries its own location table, so a warm hit costs one numpy pass.
+    if active_collector() is not None:
+        local.meta["line_profile"] = replay_line_profile(trace, device.warp_size)
+    if capture_active():
+        notify_launch(
+            kernel, device, trace, grid_dim=grid_dim, block_dim=block_dim
+        )
+    return local

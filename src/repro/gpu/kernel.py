@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.attribution import active_collector
+from ..obs.tracer import get_tracer
 from .device import DeviceSpec
 from .engine import resolve_engine, simulate_vectorized
 from .intrinsics import ThreadCtx
@@ -106,36 +108,57 @@ def launch_kernel(
     # allocates real shared memory, so check the request up front.
     validate_shared_words(shared_words, device.shared_mem_per_block)
     blocks = _select_blocks(grid_dim, max_blocks_simulated)
-    if resolve_engine(engine) == "vectorized":
-        local = simulate_vectorized(
-            device,
-            program,
-            grid_dim=grid_dim,
-            block_dim=block_dim,
-            args=args,
-            shared_words=shared_words,
-            blocks=blocks,
+    resolved = resolve_engine(engine)
+    kernel_name = getattr(program, "__qualname__", repr(program))
+    with get_tracer().span(
+        "launch",
+        level="info",
+        kernel=kernel_name,
+        engine=resolved,
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        blocks_simulated=len(blocks),
+        device=device.name,
+    ) as span:
+        if resolved == "vectorized":
+            local = simulate_vectorized(
+                device,
+                program,
+                grid_dim=grid_dim,
+                block_dim=block_dim,
+                args=args,
+                shared_words=shared_words,
+                blocks=blocks,
+            )
+        else:
+            local = _run_event(
+                device,
+                program,
+                grid_dim=grid_dim,
+                block_dim=block_dim,
+                args=args,
+                shared_words=shared_words,
+                blocks=blocks,
+            )
+        local.blocks_simulated = len(blocks)
+        local.kernel_launches = 1
+        factor = grid_dim / len(blocks) if len(blocks) else 1.0
+        # Per-line attribution rides in ``meta``; pop it before scaling so
+        # golden snapshots (and per-launch copies) never carry profiles.
+        line_raw = local.meta.pop("line_profile", None)
+        scaled = local.scaled(factor)
+        scaled.warps_launched = grid_dim * (
+            (block_dim + device.warp_size - 1) // device.warp_size
         )
-    else:
-        local = _run_event(
-            device,
-            program,
-            grid_dim=grid_dim,
-            block_dim=block_dim,
-            args=args,
-            shared_words=shared_words,
-            blocks=blocks,
-        )
-    local.blocks_simulated = len(blocks)
-    local.kernel_launches = 1
-    factor = grid_dim / len(blocks) if len(blocks) else 1.0
-    scaled = local.scaled(factor)
-    scaled.warps_launched = grid_dim * (
-        (block_dim + device.warp_size - 1) // device.warp_size
-    )
-    scaled.blocks_launched = grid_dim
-    if metrics is not None:
-        metrics.merge(scaled)
+        scaled.blocks_launched = grid_dim
+        # The launch span's counter delta is exactly this launch's scaled
+        # contribution — per-span deltas sum to cell totals by construction.
+        span.set_counters(scaled.snapshot())
+        collector = active_collector()
+        if collector is not None:
+            collector.add_launch(kernel_name, line_raw or {}, factor, scaled.snapshot())
+        if metrics is not None:
+            metrics.merge(scaled)
     return LaunchResult(metrics=scaled, blocks_total=grid_dim, blocks_simulated=len(blocks))
 
 
@@ -151,6 +174,9 @@ def _run_event(
 ) -> ProfileMetrics:
     """The event engine: interleave scheduling, effects, and accounting."""
     local = ProfileMetrics(warp_size=device.warp_size)
+    # Frame inspection per issue step is only paid when a profiler asked
+    # for attribution; the dict is shared by every warp of the launch.
+    line_raw: dict | None = {} if active_collector() is not None else None
     l2 = SectorCache(device.l2_bytes // SECTOR_BYTES)
     for block in blocks.tolist():
         # Fresh per-block L1: blocks land on arbitrary SMs.
@@ -167,6 +193,7 @@ def _run_event(
                 local,
                 l2,
                 l1,
+                line_raw,
             )
             for w in range(0, block_dim, device.warp_size)
         ]
@@ -180,4 +207,6 @@ def _run_event(
             for w in at_barrier:
                 w.release_barrier()
             live = at_barrier
+    if line_raw is not None:
+        local.meta["line_profile"] = line_raw
     return local

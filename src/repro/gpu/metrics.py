@@ -157,10 +157,32 @@ class ProfileMetrics:
 
         The replay engine reduces a whole launch to one dict of totals with
         array operations and lands it here in a single call, instead of the
-        event executor's millions of per-instruction ``+=``.
+        event executor's millions of per-instruction ``+=``.  Accumulation
+        follows ``_COUNTER_FIELDS`` order, not the mapping's insertion
+        order, so both engines add the same floats in the same sequence and
+        span counter deltas agree with the totals bit-for-bit.
         """
-        for name, delta in counters.items():
-            setattr(self, name, getattr(self, name) + delta)
+        for name in self._COUNTER_FIELDS:
+            if name in counters:
+                setattr(self, name, getattr(self, name) + counters[name])
+        for name in counters.keys() - set(self._COUNTER_FIELDS):
+            setattr(self, name, getattr(self, name) + counters[name])
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (plus ``kernel_launches``).
+
+        Pairs with :meth:`delta`: the observability layer snapshots an
+        accumulator when a span opens and attributes the difference to the
+        span when it closes, so per-span deltas sum to the totals exactly.
+        """
+        snap = {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+        snap["kernel_launches"] = self.kernel_launches
+        return snap
+
+    def delta(self, before: dict) -> dict:
+        """Counters accumulated since ``before`` (a :meth:`snapshot`)."""
+        now = self.snapshot()
+        return {name: now[name] - before.get(name, 0) for name in now}
 
     def scaled(self, factor: float) -> "ProfileMetrics":
         """Counters multiplied by ``factor`` (block-sampling extrapolation).

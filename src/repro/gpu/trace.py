@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph import io
+from ..obs.tracer import get_tracer
 from .memory import DeviceArray
 
 __all__ = [
@@ -63,7 +64,9 @@ __all__ = [
 ]
 
 #: Bump to invalidate every previously recorded trace (schema change).
-TRACE_SCHEMA = 1
+#: v2 added the per-row ``loc`` stream + interned source-location table
+#: (nvprof-style source-level attribution survives cache round-trips).
+TRACE_SCHEMA = 2
 
 # Trace opcodes.  The event vocabulary collapses: "ga"/"go" share atomic
 # accounting, "sa"/"so" share same-address serialisation, and "a"/"sc"/"bc"
@@ -83,22 +86,26 @@ OP_SYNC_EVENT = 9     # block barrier release (sync_events only, no step)
 class BlockTrace:
     """Immutable instruction trace of one simulated block.
 
-    Four parallel arrays describe the issued warp instructions in program
-    order (``ops``/``nlanes``/``aux``/``npay``) and ``payload`` holds the
-    concatenated per-instruction memory coordinates (``npay`` entries
-    each).  ``_memo`` caches replay reductions keyed by what they depend on
+    Five parallel arrays describe the issued warp instructions in program
+    order (``ops``/``nlanes``/``aux``/``npay``/``loc``) and ``payload``
+    holds the concatenated per-instruction memory coordinates (``npay``
+    entries each).  ``loc`` carries the interned source-location id of the
+    yield that produced each row (see the launch-level location table);
+    the sentinel ``0`` means "no attributable line" (barrier releases).
+    ``_memo`` caches replay reductions keyed by what they depend on
     (nothing, or an L1 capacity) — replaying the same trace on a second
     device reuses the device-independent work.
     """
 
-    __slots__ = ("ops", "nlanes", "aux", "npay", "payload", "_digest", "_memo")
+    __slots__ = ("ops", "nlanes", "aux", "npay", "payload", "loc", "_digest", "_memo")
 
-    def __init__(self, ops, nlanes, aux, npay, payload):
+    def __init__(self, ops, nlanes, aux, npay, payload, loc=None):
         self.ops = ops
         self.nlanes = nlanes
         self.aux = aux
         self.npay = npay
         self.payload = payload
+        self.loc = loc if loc is not None else np.zeros(ops.shape[0], dtype=np.int32)
         self._digest: bytes | None = None
         self._memo: dict = {}
 
@@ -113,6 +120,7 @@ class BlockTrace:
             h.update(self.aux.tobytes())
             h.update(self.npay.tobytes())
             h.update(self.payload.tobytes())
+            h.update(self.loc.tobytes())
             self._digest = h.digest()
         return self._digest
 
@@ -124,13 +132,14 @@ class BlockTrace:
             + self.aux.nbytes
             + self.npay.nbytes
             + self.payload.nbytes
+            + self.loc.nbytes
         )
 
 
 class BlockTraceBuilder:
     """Append-only accumulator the recording warps share within one block."""
 
-    __slots__ = ("ops", "nlanes", "aux", "npay", "payload")
+    __slots__ = ("ops", "nlanes", "aux", "npay", "payload", "loc")
 
     def __init__(self):
         self.ops: list[int] = []
@@ -138,12 +147,14 @@ class BlockTraceBuilder:
         self.aux: list[int] = []
         self.npay: list[int] = []
         self.payload: list[int] = []
+        self.loc: list[int] = []
 
-    def emit(self, op: int, nlanes: int, aux: int = 0, payload=()) -> None:
+    def emit(self, op: int, nlanes: int, aux: int = 0, payload=(), loc: int = 0) -> None:
         self.ops.append(op)
         self.nlanes.append(nlanes)
         self.aux.append(aux)
         self.npay.append(len(payload))
+        self.loc.append(loc)
         if payload:
             self.payload.extend(payload)
 
@@ -154,6 +165,7 @@ class BlockTraceBuilder:
             np.asarray(self.aux, dtype=np.int64),
             np.asarray(self.npay, dtype=np.int64),
             np.asarray(self.payload, dtype=np.int64),
+            np.asarray(self.loc, dtype=np.int32),
         )
 
 
@@ -185,6 +197,11 @@ class LaunchTrace:
     element index, final value)`` for every global array element the kernel
     wrote, or ``None`` when those effects cannot be expressed through the
     argument tuple (such a trace must not be served from the cache).
+
+    ``locations`` is the launch's interned source-location table: block
+    rows carry small ids into it (``loc`` stream), entry 0 is the "no
+    location" sentinel.  It travels with the cached trace so source-line
+    attribution replays on warm hits.
     """
 
     grid_dim: int
@@ -194,6 +211,7 @@ class LaunchTrace:
     unique: list[BlockTrace] = field(repr=False)
     instances: np.ndarray = field(repr=False)
     writeback: tuple[tuple[int, int, int], ...] | None
+    locations: tuple[tuple[str, int], ...] = (("", 0),)
 
     @property
     def cacheable(self) -> bool:
@@ -202,7 +220,8 @@ class LaunchTrace:
     @property
     def nbytes(self) -> int:
         wb = 0 if self.writeback is None else 24 * len(self.writeback)
-        return sum(t.nbytes for t in self.unique) + self.instances.nbytes + wb
+        locs = sum(len(f) + 12 for f, _ in self.locations)
+        return sum(t.nbytes for t in self.unique) + self.instances.nbytes + wb + locs
 
 
 # --------------------------------------------------------------------------
@@ -320,6 +339,11 @@ def _trace_to_arrays(trace: LaunchTrace) -> dict[str, np.ndarray]:
         "aux": cat([t.aux for t in trace.unique], np.int64),
         "npay": cat([t.npay for t in trace.unique], np.int64),
         "payload": cat([t.payload for t in trace.unique], np.int64),
+        "loc": cat([t.loc for t in trace.unique], np.int32),
+        # The location table is never empty (entry 0 is the sentinel), so
+        # the unicode array always has a well-defined dtype.
+        "loc_files": np.asarray([f for f, _ in trace.locations]),
+        "loc_lines": np.asarray([n for _, n in trace.locations], dtype=np.int64),
         "writeback": wb,
     }
 
@@ -336,12 +360,16 @@ def _trace_from_arrays(arrays: dict[str, np.ndarray]) -> LaunchTrace | None:
         aux = np.split(arrays["aux"], g_split)
         npay = np.split(arrays["npay"], g_split)
         payload = np.split(arrays["payload"], p_split)
+        loc = np.split(arrays["loc"].astype(np.int32, copy=False), g_split)
         unique = [
-            BlockTrace(o, n, a, c, p)
-            for o, n, a, c, p in zip(ops, nlanes, aux, npay, payload)
+            BlockTrace(o, n, a, c, p, x)
+            for o, n, a, c, p, x in zip(ops, nlanes, aux, npay, payload, loc)
         ]
         writeback = tuple(
             (int(p), int(i), int(v)) for p, i, v in arrays["writeback"]
+        )
+        locations = tuple(
+            (str(f), int(n)) for f, n in zip(arrays["loc_files"], arrays["loc_lines"])
         )
         return LaunchTrace(
             grid_dim=int(meta[1]),
@@ -351,6 +379,7 @@ def _trace_from_arrays(arrays: dict[str, np.ndarray]) -> LaunchTrace | None:
             unique=unique,
             instances=arrays["instances"].astype(np.int64, copy=False),
             writeback=writeback,
+            locations=locations,
         )
     except (KeyError, IndexError, ValueError):
         return None
@@ -386,6 +415,7 @@ class TraceCache:
             del self._entries[key]  # refresh recency
             self._entries[key] = entry
             self.stats.hits += 1
+            get_tracer().event("trace_cache", level="debug", status="hit", key=key)
             return entry
         arrays = io.load_cached_arrays(self._disk_key(key))
         if arrays is not None:
@@ -393,8 +423,10 @@ class TraceCache:
             if trace is not None:
                 self.stats.disk_hits += 1
                 self._insert(key, trace)
+                get_tracer().event("trace_cache", level="debug", status="disk_hit", key=key)
                 return trace
         self.stats.misses += 1
+        get_tracer().event("trace_cache", level="debug", status="miss", key=key)
         return None
 
     def put(self, key: str, trace: LaunchTrace) -> None:
@@ -402,6 +434,9 @@ class TraceCache:
             self.stats.uncacheable += 1
             return
         self.stats.stores += 1
+        get_tracer().event(
+            "trace_cache", level="debug", status="store", key=key, nbytes=trace.nbytes
+        )
         self._insert(key, trace)
         if io.disk_cache_enabled():
             io.store_cached_arrays(self._disk_key(key), **_trace_to_arrays(trace))
@@ -417,6 +452,7 @@ class TraceCache:
             victim_key = next(iter(self._entries))
             self._bytes -= self._entries.pop(victim_key).nbytes
             self.stats.evictions += 1
+            get_tracer().event("trace_cache", level="debug", status="evict", key=victim_key)
 
     def clear(self) -> None:
         """Drop the memory layer and reset stats (the disk layer persists)."""

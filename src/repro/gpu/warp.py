@@ -29,6 +29,7 @@ the recording subclass overrides.
 
 from __future__ import annotations
 
+from ..obs.attribution import innermost_location
 from .memory import SectorCache
 from .metrics import SECTOR_BYTES, ProfileMetrics
 from .sharedmem import NUM_BANKS, SharedMemory
@@ -50,11 +51,17 @@ class Warp:
         metrics: ProfileMetrics,
         l2: SectorCache | None = None,
         l1: SectorCache | None = None,
+        line_raw: dict | None = None,
     ):
         self.smem = smem
         self.metrics = metrics
         self.l2 = l2
         self.l1 = l1
+        # Optional source-line attribution sink: (file, line) -> the four
+        # LINE_FIELDS values (see repro.obs.attribution).  None (the
+        # default) keeps the hot loop free of frame inspection.
+        self.line_raw = line_raw
+        self._line_rec: list | None = None
         self.gens = list(programs)
         # pending[i]: next event to issue for lane i, _DONE, or _AT_SYNC.
         self.pending = []
@@ -180,8 +187,25 @@ class Warp:
         """Open a warp-local ``__syncwarp`` barrier for ``lanes``."""
         self.metrics.warp_steps += 1
         self.metrics.active_lane_steps += len(lanes)
+        if self.line_raw is not None:
+            self._attribute_step(lanes)
         for lane in lanes:
             self._advance(lane, None)
+
+    def _attribute_step(self, lanes) -> None:
+        """Charge one issue step to the source line the site is parked at.
+
+        All lanes of a site share the instruction (same ``(op, tag)``), so
+        lane 0's suspended frame names the line for the whole group.  Must
+        run *before* the lanes advance — advancing moves the frames.
+        """
+        loc = innermost_location(self.gens[lanes[0]])
+        rec = self.line_raw.get(loc)
+        if rec is None:
+            rec = self.line_raw[loc] = [0, 0, 0, 0]
+        rec[2] += 1  # warp_steps
+        rec[3] += self.metrics.warp_size - len(lanes)  # lane_loss
+        self._line_rec = rec
 
     def _issue(self, op: str, tag, lanes) -> None:
         """Execute one selected instruction site for its active ``lanes``."""
@@ -189,6 +213,8 @@ class Warp:
         m = self.metrics
         m.warp_steps += 1
         m.active_lane_steps += len(lanes)
+        if self.line_raw is not None:
+            self._attribute_step(lanes)
         if op == "g":
             sectors = set()
             for lane in lanes:
@@ -198,6 +224,9 @@ class Warp:
                 self._advance(lane, int(darr.data[idx]))
             m.global_load_requests += 1
             m.global_load_transactions += len(sectors)
+            if self._line_rec is not None:
+                self._line_rec[0] += 1  # global_load_requests
+                self._line_rec[1] += len(sectors)  # global_load_transactions
             self._memory_access(sorted(sectors))
         elif op == "a":
             extra = 0

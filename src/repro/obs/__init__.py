@@ -1,0 +1,51 @@
+"""Observability: structured tracing, source-line attribution, profiling.
+
+Import surface is deliberately light — the simulator core imports
+:mod:`repro.obs.tracer` and :mod:`repro.obs.attribution` on its hot path,
+so this package must not pull in report rendering or timeline export at
+import time (the ``profile`` CLI imports those lazily).
+"""
+
+from .attribution import (
+    LineProfileCollector,
+    active_collector,
+    capturing_launches,
+    collecting,
+    innermost_location,
+)
+from .tracer import (
+    LEVELS,
+    LOG_ENV,
+    TELEMETRY_SCHEMA,
+    BufferSink,
+    JsonlSink,
+    StderrSink,
+    Tracer,
+    absorb_forwarded,
+    configure,
+    forwarding_buffer,
+    get_tracer,
+    set_tracer,
+    telemetry_path,
+)
+
+__all__ = [
+    "BufferSink",
+    "JsonlSink",
+    "LEVELS",
+    "LOG_ENV",
+    "LineProfileCollector",
+    "StderrSink",
+    "TELEMETRY_SCHEMA",
+    "Tracer",
+    "absorb_forwarded",
+    "active_collector",
+    "capturing_launches",
+    "collecting",
+    "configure",
+    "forwarding_buffer",
+    "get_tracer",
+    "innermost_location",
+    "set_tracer",
+    "telemetry_path",
+]

@@ -1,0 +1,192 @@
+"""Chrome/Perfetto trace-event export of the modelled GPU timeline.
+
+Emits the JSON object format of the Trace Event spec (``{"traceEvents":
+[...]}``) so the output loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev: one process per simulated device with one thread
+track per SM, complete (``"X"``) slices per block with nested
+barrier-phase slices, a ``"C"`` counter track for busy-SM occupancy, and
+— when telemetry events are supplied — a host process whose ``"B"``/
+``"E"`` pairs mirror the tracer's span tree.
+
+Everything here is plain dict/JSON assembly; :func:`validate_trace`
+checks the structural rules the viewers actually enforce and is what the
+test suite asserts against.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .timeline import Timeline
+
+__all__ = ["timeline_to_trace", "spans_to_trace_events", "validate_trace", "write_trace"]
+
+#: pid used for the device timeline; the host (telemetry spans) gets 0.
+DEVICE_PID = 1
+HOST_PID = 0
+
+_KNOWN_PHASES = frozenset("BEXCiMbens")
+
+
+def timeline_to_trace(
+    timeline: Timeline,
+    *,
+    telemetry_events: list[dict] | None = None,
+    phase_slices: bool = True,
+) -> dict:
+    """Assemble the Chrome trace object for one modelled :class:`Timeline`."""
+    events: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": DEVICE_PID, "tid": 0,
+            "args": {"name": f"Simulated GPU ({timeline.device})"},
+        }
+    ]
+    for sm in range(timeline.sm_count):
+        events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": DEVICE_PID, "tid": sm,
+                "args": {"name": f"SM {sm}"},
+            }
+        )
+    edges: list[tuple[float, int]] = []
+    for s in timeline.slices:
+        events.append(
+            {
+                "ph": "X", "name": s.kernel, "cat": "kernel", "pid": DEVICE_PID,
+                "tid": s.sm, "ts": round(s.start_us, 3), "dur": round(s.dur_us, 3),
+                "args": {"block": s.block, "launch": s.launch},
+            }
+        )
+        edges.append((s.start_us, +1))
+        edges.append((s.start_us + s.dur_us, -1))
+        if phase_slices and len(s.phases) > 1:
+            for k, (t0, dur) in enumerate(s.phases):
+                events.append(
+                    {
+                        "ph": "X", "name": f"phase {k}", "cat": "barrier-phase",
+                        "pid": DEVICE_PID, "tid": s.sm,
+                        "ts": round(t0, 3), "dur": round(dur, 3),
+                        "args": {"block": s.block},
+                    }
+                )
+    # Busy-SM counter: sweep the slice edges in time order.
+    busy = 0
+    for ts, delta in sorted(edges):
+        busy += delta
+        events.append(
+            {
+                "ph": "C", "name": "busy_sms", "pid": DEVICE_PID, "tid": 0,
+                "ts": round(ts, 3), "args": {"busy": busy},
+            }
+        )
+    if telemetry_events:
+        events.extend(spans_to_trace_events(telemetry_events))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"device": timeline.device, "modelled_end_us": round(timeline.end_us, 3)},
+    }
+
+
+def spans_to_trace_events(telemetry_events: list[dict]) -> list[dict]:
+    """Map tracer span begin/end events onto a host-process track.
+
+    Timestamps are wall-clock seconds rebased to the earliest event so the
+    host track starts near zero like the modelled device track.  Non-span
+    events (``"log"`` lines) become instant (``"i"``) events.  The output
+    is balance-safe by construction: a ``span_end`` whose begin was never
+    captured degrades to an instant event, and spans left open (a worker
+    killed mid-cell) are closed at the last observed timestamp.
+    """
+    stamped = [e for e in telemetry_events if isinstance(e.get("ts"), (int, float))]
+    if not stamped:
+        return []
+    t0 = min(e["ts"] for e in stamped)
+    out: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": HOST_PID, "tid": 0,
+            "args": {"name": "repro host (telemetry spans)"},
+        }
+    ]
+    open_b: dict[int, int] = {}
+    last_ts = 0.0
+    for e in stamped:
+        ts = round((e["ts"] - t0) * 1e6, 3)
+        last_ts = max(last_ts, ts)
+        # Fold the origin pid into the track id: forwarded worker events
+        # share HOST_PID here, and two processes may reuse thread ids.
+        tid = (e.get("pid", 0) * 131071 + e.get("tid", 0)) % 1_000_000
+        kind = e.get("event")
+        name = str(e.get("name", "event"))
+        if kind == "span_begin":
+            open_b[tid] = open_b.get(tid, 0) + 1
+            out.append({"ph": "B", "name": name, "cat": "span",
+                        "pid": HOST_PID, "tid": tid, "ts": ts})
+        elif kind == "span_end" and open_b.get(tid, 0) > 0:
+            open_b[tid] -= 1
+            out.append({"ph": "E", "name": name, "cat": "span",
+                        "pid": HOST_PID, "tid": tid, "ts": ts})
+        else:
+            out.append({"ph": "i", "name": name, "cat": "log",
+                        "pid": HOST_PID, "tid": tid, "ts": ts, "s": "t"})
+    for tid, depth in open_b.items():
+        for _ in range(depth):
+            out.append({"ph": "E", "name": "span", "cat": "span",
+                        "pid": HOST_PID, "tid": tid, "ts": last_ts})
+    return out
+
+
+def validate_trace(trace: dict) -> list[str]:
+    """Structural check against the Chrome trace-event JSON object format.
+
+    Returns a list of problems (empty = valid): required keys per phase
+    type, numeric non-negative timestamps/durations, and balanced B/E
+    nesting per (pid, tid) track.
+    """
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    stacks: dict[tuple, list[str]] = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown ph {ph!r}")
+            continue
+        if "pid" not in e or "tid" not in e:
+            problems.append(f"event {i}: missing pid/tid")
+        if ph != "M":
+            ts = e.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i}: bad ts {ts!r}")
+        if ph in "BEXC" and not e.get("name"):
+            problems.append(f"event {i}: missing name")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+        if ph == "C" and not isinstance(e.get("args"), dict):
+            problems.append(f"event {i}: counter without args")
+        if ph == "M" and not isinstance(e.get("args"), dict):
+            problems.append(f"event {i}: metadata without args")
+        if ph == "B":
+            stacks.setdefault((e.get("pid"), e.get("tid")), []).append(str(e.get("name")))
+        elif ph == "E":
+            stack = stacks.setdefault((e.get("pid"), e.get("tid")), [])
+            if not stack:
+                problems.append(f"event {i}: E without matching B")
+            else:
+                stack.pop()
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(f"track {track}: {len(stack)} unterminated B events")
+    return problems
+
+
+def write_trace(trace: dict, path) -> None:
+    """Write the trace object as compact JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, separators=(",", ":"))

@@ -1,0 +1,169 @@
+"""Model a per-SM execution timeline from captured launch traces.
+
+nvprof's timeline view is the artefact this reconstructs: one track per
+SM, one slice per thread block, slices subdivided at ``__syncthreads``
+barriers.  The simulator is functional (it counts, it does not clock), so
+the timeline is a *model*: per-block cycle costs are derived from the
+recorded trace with the same per-transaction weights the analytical
+:class:`~repro.gpu.costmodel.CostModel` uses, and block instances are
+placed onto SMs by a greedy earliest-free scheduler (one resident block
+per SM — the paper's kernels are occupancy-limited by shared memory, so
+sequential block residency is the honest first-order model).
+
+Input is the :class:`~repro.obs.attribution.LaunchProfile` list produced
+by :func:`~repro.obs.attribution.capturing_launches`; capture fires on
+both the record and the warm trace-cache paths, so a timeline can be
+built from a fully cached run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.costmodel import CostModel
+from ..gpu.engine import _base_reductions
+from ..gpu.trace import (
+    OP_ALU,
+    OP_GLOBAL_ATOMIC,
+    OP_GLOBAL_LOAD,
+    OP_GLOBAL_STORE,
+    OP_SHARED_ATOMIC,
+    OP_SHARED_LOAD,
+    OP_SHARED_STORE,
+    OP_SYNC_EVENT,
+)
+
+__all__ = ["BlockSlice", "Timeline", "build_timeline"]
+
+_GLOBAL_OPS = (OP_GLOBAL_LOAD, OP_GLOBAL_STORE, OP_GLOBAL_ATOMIC)
+_SHARED_OPS = (OP_SHARED_LOAD, OP_SHARED_STORE, OP_SHARED_ATOMIC)
+
+
+@dataclass(frozen=True)
+class BlockSlice:
+    """One simulated block placed on one SM track."""
+
+    kernel: str
+    launch: int
+    block: int
+    sm: int
+    start_us: float
+    dur_us: float
+    #: (start_us, dur_us) per barrier-delimited phase, in block order.
+    phases: tuple[tuple[float, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """The modelled timeline of one captured run."""
+
+    device: str
+    sm_count: int
+    slices: tuple[BlockSlice, ...]
+    #: per-launch (kernel, start_us, end_us) in launch order
+    launches: tuple[tuple[str, float, float], ...]
+    end_us: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+def _phase_cycles(trace, cost: CostModel) -> list[float]:
+    """Cycle cost of each barrier-delimited phase of one unique block.
+
+    Per row: one issue cycle, plus the ALU row's extra cycles, plus the
+    cost-model per-transaction weights for global (LSU) and shared rows.
+    ``OP_SYNC_EVENT`` rows cost nothing and close the current phase.
+    """
+    ops = trace.ops
+    if not ops.shape[0]:
+        return [0.0]
+    _, _, per_row_sectors = _base_reductions(trace)
+    cycles = np.ones(ops.shape[0], dtype=np.float64)
+    is_global = np.isin(ops, _GLOBAL_OPS)
+    cycles[is_global] += cost.lsu_cycles_per_transaction * per_row_sectors[is_global]
+    is_alu = ops == OP_ALU
+    cycles[is_alu] += trace.aux[is_alu]
+    cycles[np.isin(ops, _SHARED_OPS)] += cost.shared_cycles_per_transaction
+    cycles[ops == OP_SYNC_EVENT] = 0.0
+    bounds = np.flatnonzero(ops == OP_SYNC_EVENT)
+    phases = []
+    lo = 0
+    for b in bounds.tolist():
+        phases.append(float(cycles[lo:b].sum()))
+        lo = b + 1
+    phases.append(float(cycles[lo:].sum()))
+    return phases
+
+
+def build_timeline(
+    launches,
+    *,
+    cost_model: CostModel | None = None,
+    max_blocks_per_launch: int | None = None,
+) -> Timeline:
+    """Place every captured launch's blocks onto SM tracks.
+
+    ``launches`` is a sequence of :class:`~repro.obs.attribution.
+    LaunchProfile`.  Launches execute back-to-back (the simulator has no
+    stream concurrency), each preceded by the device's kernel launch
+    overhead; within a launch, simulated blocks go to the earliest-free SM.
+    ``max_blocks_per_launch`` caps the number of slices emitted per launch
+    (huge grids would swamp the trace viewer); the cap drops trailing
+    blocks, it does not rescale the model.
+    """
+    cost = cost_model or CostModel()
+    slices: list[BlockSlice] = []
+    launch_spans: list[tuple[str, float, float]] = []
+    clock_us = 0.0
+    device_name = ""
+    sm_count = 1
+    for li, lp in enumerate(launches):
+        device = lp.device
+        device_name = getattr(device, "name", str(device))
+        sm_count = int(getattr(device, "sm_count", 1))
+        us_per_cycle = 1e6 / float(getattr(device, "clock_hz", 1.0))
+        clock_us += float(getattr(device, "kernel_launch_overhead_s", 0.0)) * 1e6
+        start_us = clock_us
+        trace = lp.trace
+        phase_cache = [_phase_cycles(t, cost) for t in trace.unique]
+        # Greedy earliest-free SM: a heap of (free_at_us, sm) pairs.
+        free = [(start_us, sm) for sm in range(sm_count)]
+        heapq.heapify(free)
+        end_us = start_us
+        instances = trace.instances
+        emitted = 0
+        for block, uidx in enumerate(np.asarray(instances).tolist()):
+            t0, sm = heapq.heappop(free)
+            phases_cy = phase_cache[uidx]
+            at = t0
+            phases = []
+            for cy in phases_cy:
+                dur = cy * us_per_cycle
+                phases.append((at, dur))
+                at += dur
+            heapq.heappush(free, (at, sm))
+            end_us = max(end_us, at)
+            if max_blocks_per_launch is None or emitted < max_blocks_per_launch:
+                slices.append(
+                    BlockSlice(
+                        kernel=lp.kernel,
+                        launch=li,
+                        block=block,
+                        sm=sm,
+                        start_us=t0,
+                        dur_us=at - t0,
+                        phases=tuple(phases),
+                    )
+                )
+                emitted += 1
+        launch_spans.append((lp.kernel, start_us, end_us))
+        clock_us = end_us
+    return Timeline(
+        device=device_name,
+        sm_count=sm_count,
+        slices=tuple(slices),
+        launches=tuple(launch_spans),
+        end_us=clock_us,
+    )

@@ -1,0 +1,482 @@
+"""Zero-dependency structured tracer: nested spans, levels, JSONL telemetry.
+
+The observability layer's core primitive is the *span* — a named, timed,
+attribute-carrying region of work that nests strictly within its parent
+(``launch`` inside ``cell`` inside ``matrix``).  Every span emits two
+schema-versioned events (``span_begin`` / ``span_end``); point-in-time
+facts (a trace-cache hit, a retry, a degradation) emit single ``log``
+events.  Events fan out to *sinks*:
+
+* :class:`JsonlSink` — one JSON object per line, appended to
+  ``.cache/runs/<run_id>/telemetry.jsonl`` (the resilience run-dir
+  layout), machine-readable and diffable;
+* :class:`StderrSink` — a human ``[HH:MM:SS] LEVEL message key=value``
+  format for interactive progress;
+* :class:`BufferSink` — an in-memory list, used by worker processes to
+  forward their events to the parent over the existing result channel
+  (see :func:`forwarding_buffer` / :func:`absorb_forwarded`).
+
+The global tracer starts disabled; :func:`configure` (driven by
+``REPRO_LOG`` or the CLI's ``--log-level``/``--quiet``/``--verbose``)
+turns it on.  Disabled, every instrumentation point costs one attribute
+load and an integer compare — observability must be near-free.
+
+Span counter deltas: pass ``metrics=`` (anything with a
+``snapshot()``/``delta()`` pair, i.e. :class:`repro.gpu.metrics.
+ProfileMetrics`) and the span end event carries the counters accumulated
+while the span was open, so per-span deltas sum to launch totals by
+construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import threading
+import time
+
+__all__ = [
+    "BufferSink",
+    "JsonlSink",
+    "LEVELS",
+    "LOG_ENV",
+    "NULL_SPAN",
+    "Span",
+    "StderrSink",
+    "TELEMETRY_SCHEMA",
+    "Tracer",
+    "absorb_forwarded",
+    "configure",
+    "env_level",
+    "forwarding_buffer",
+    "get_tracer",
+    "set_tracer",
+    "telemetry_path",
+]
+
+#: Bump when the shape of emitted events changes (consumers key on this).
+TELEMETRY_SCHEMA = 1
+
+#: Environment switch for the default log level (worker processes inherit
+#: it, which is how telemetry survives the process-pool boundary).
+LOG_ENV = "REPRO_LOG"
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+_LEVEL_NAMES = {v: k for k, v in LEVELS.items()}
+
+#: Key under which workers forward buffered events inside
+#: ``RunRecord.extra`` (popped by the parent before journaling).
+FORWARD_KEY = "telemetry_events"
+
+#: Shared compact encoder — ``json.dumps`` with keyword options builds a
+#: fresh ``JSONEncoder`` per call, which is measurable on the emit path.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), default=str)
+
+
+def _level_no(level: int | str) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(f"unknown log level {level!r}; known: {sorted(LEVELS)}") from None
+
+
+def env_level(default: str = "off") -> str:
+    """Level name requested by :data:`LOG_ENV` (``default`` when unset)."""
+    raw = os.environ.get(LOG_ENV, "").strip().lower()
+    return raw if raw in LEVELS else default
+
+
+def telemetry_path(run_id: str):
+    """``<cache>/runs/<run_id>/telemetry.jsonl`` (resilience run layout)."""
+    from ..graph.io import cache_dir  # late import: keep the tracer zero-dep
+
+    path = cache_dir() / "runs" / run_id
+    path.mkdir(parents=True, exist_ok=True)
+    return path / "telemetry.jsonl"
+
+
+# --------------------------------------------------------------------------
+# sinks
+# --------------------------------------------------------------------------
+
+
+class JsonlSink:
+    """Append events as JSON lines to a file.
+
+    Only the process that opened the file writes to it: forked workers
+    inherit the handle, and interleaved buffered appends from several
+    processes would tear lines, so events from other pids are dropped here
+    and travel through :func:`forwarding_buffer` instead.
+    """
+
+    #: Flush every N events rather than per line: telemetry is diagnostic,
+    #: not a journal, and a flush per event dominates short instrumented
+    #: runs.  Warnings and errors always flush immediately.
+    FLUSH_EVERY = 64
+
+    def __init__(self, path, level: int | str = "debug"):
+        self.path = str(path)
+        self.level = _level_no(level)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._unflushed = 0
+
+    def emit(self, event: dict) -> None:
+        if os.getpid() != self._pid:
+            return
+        line = _ENCODER.encode(event)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._unflushed += 1
+            if (
+                self._unflushed >= self.FLUSH_EVERY
+                or event.get("level", 0) >= LEVELS["warning"]
+            ):
+                self._fh.flush()
+                self._unflushed = 0
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+
+class StderrSink:
+    """Human-readable one-line format on stderr.
+
+    Like :class:`JsonlSink`, only the owning process prints: forked worker
+    events reach the console once, via the parent's re-emission of the
+    forwarded buffer, never twice.
+    """
+
+    #: span_begin noise is suppressed below this level — humans want the
+    #: end line (with duration), machines get both from the JSONL sink.
+    def __init__(self, level: int | str = "warning", stream=None):
+        self.level = _level_no(level)
+        self.stream = stream
+        self._pid = os.getpid()
+
+    def emit(self, event: dict) -> None:
+        if os.getpid() != self._pid and not event.get("forwarded"):
+            return
+        stream = self.stream or sys.stderr
+        kind = event.get("event")
+        if kind == "span_begin":
+            return  # the end line carries the same name plus the duration
+        ts = time.strftime("%H:%M:%S", time.localtime(event.get("ts", time.time())))
+        level = _LEVEL_NAMES.get(event.get("level", 20), "info")
+        if kind == "span_end":
+            head = f"{event.get('name')} done in {event.get('dur_s', 0.0) * 1e3:.1f} ms"
+        else:
+            head = str(event.get("msg", event.get("name", "")))
+        skip = {"schema", "ts", "level", "event", "msg", "name", "span", "parent",
+                "depth", "pid", "tid", "dur_s", "counters"}
+        tail = " ".join(f"{k}={v}" for k, v in event.items() if k not in skip)
+        print(f"[{ts}] {level:<7} {head}" + (f"  {tail}" if tail else ""),
+              file=stream, flush=True)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class BufferSink:
+    """Collect events in memory (worker forwarding, tests, Chrome export)."""
+
+    def __init__(self, level: int | str = "debug"):
+        self.level = _level_no(level)
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+# --------------------------------------------------------------------------
+# spans
+# --------------------------------------------------------------------------
+
+
+class Span:
+    """One open span; used as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "level", "attrs", "metrics", "span_id",
+                 "parent_id", "depth", "_t0", "_snapshot", "counters")
+
+    def __init__(self, tracer: "Tracer", name: str, level: int, attrs: dict, metrics):
+        self.tracer = tracer
+        self.name = name
+        self.level = level
+        self.attrs = attrs
+        self.metrics = metrics
+        self.counters: dict | None = None
+        self.span_id = ""
+        self.parent_id = ""
+        self.depth = 0
+        self._t0 = 0.0
+        self._snapshot = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes after entry (they ride on the end event)."""
+        self.attrs.update(attrs)
+
+    def set_counters(self, counters: dict) -> None:
+        """Explicit counter deltas (overrides the ``metrics=`` snapshot)."""
+        self.counters = counters
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1] if stack else ""
+        self.depth = len(stack)
+        self.span_id = f"{os.getpid():x}.{next(tracer._seq):x}"
+        stack.append(self.span_id)
+        self._t0 = time.perf_counter()
+        if self.metrics is not None:
+            self._snapshot = self.metrics.snapshot()
+        tracer._emit(self.level, {
+            "event": "span_begin", "name": self.name, "span": self.span_id,
+            "parent": self.parent_id, "depth": self.depth, **self.attrs,
+        })
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = time.perf_counter() - self._t0
+        stack = self.tracer._stack()
+        # Exception-safe un-nesting even if inner spans leaked: pop back to
+        # (and including) this span's id.
+        while stack and stack.pop() != self.span_id:  # pragma: no cover - leak guard
+            pass
+        event = {
+            "event": "span_end", "name": self.name, "span": self.span_id,
+            "parent": self.parent_id, "depth": self.depth,
+            "dur_s": round(dur, 9), **self.attrs,
+        }
+        counters = self.counters
+        if counters is None and self._snapshot is not None:
+            counters = self.metrics.delta(self._snapshot)
+        if counters:
+            event["counters"] = {k: v for k, v in counters.items() if v}
+        if exc is not None:
+            event["error"] = f"{exc_type.__name__}: {exc}"
+        self.tracer._emit(max(self.level, LEVELS["error"] if exc else 0), event)
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def set_counters(self, counters: dict) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+# --------------------------------------------------------------------------
+# tracer
+# --------------------------------------------------------------------------
+
+
+class Tracer:
+    """Dispatch events to sinks; tracks per-thread span nesting."""
+
+    def __init__(self, sinks=()):
+        self.sinks = list(sinks)
+        self.min_level = min((s.level for s in self.sinks), default=LEVELS["off"])
+        self._seq = itertools.count(1)
+        self._local = threading.local()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def enabled(self, level: int | str = "info") -> bool:
+        return _level_no(level) >= self.min_level
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+        self.min_level = min(self.min_level, sink.level)
+
+    def remove_sink(self, sink) -> None:
+        self.sinks = [s for s in self.sinks if s is not sink]
+        self.min_level = min((s.level for s in self.sinks), default=LEVELS["off"])
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def _emit(self, level: int, payload: dict) -> None:
+        event = {"schema": TELEMETRY_SCHEMA, "ts": time.time(), "level": level,
+                 "pid": os.getpid(), "tid": threading.get_ident(), **payload}
+        for sink in self.sinks:
+            if level >= sink.level:
+                sink.emit(event)
+
+    def emit_raw(self, event: dict) -> None:
+        """Re-emit an already-built event (forwarded from a worker)."""
+        for sink in self.sinks:
+            if event.get("level", LEVELS["info"]) >= sink.level:
+                sink.emit(event)
+
+    # -- public API --------------------------------------------------------
+
+    def span(self, name: str, *, level: int | str = "info", metrics=None, **attrs):
+        lvl = _level_no(level)
+        if lvl < self.min_level:
+            return NULL_SPAN
+        return Span(self, name, lvl, attrs, metrics)
+
+    def event(self, name: str, *, level: int | str = "info", **fields) -> None:
+        lvl = _level_no(level)
+        if lvl >= self.min_level:
+            self._emit(lvl, {"event": "log", "name": name,
+                             "span": (self._stack() or [""])[-1], **fields})
+
+    def debug(self, msg: str, **fields) -> None:
+        self.event("log", level="debug", msg=msg, **fields)
+
+    def info(self, msg: str, **fields) -> None:
+        self.event("log", level="info", msg=msg, **fields)
+
+    def warning(self, msg: str, **fields) -> None:
+        self.event("log", level="warning", msg=msg, **fields)
+
+    def error(self, msg: str, **fields) -> None:
+        self.event("log", level="error", msg=msg, **fields)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled until :func:`configure`)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer (tests isolate with this)."""
+    global _TRACER
+    old = _TRACER
+    _TRACER = tracer
+    return old
+
+
+def configure(
+    *,
+    level: str | None = None,
+    run_id: str | None = None,
+    jsonl: str | None = None,
+    stderr: bool = True,
+    propagate_env: bool = True,
+) -> Tracer:
+    """Build and install the process tracer from CLI/env configuration.
+
+    ``level`` defaults to :data:`LOG_ENV` (or ``off``).  A ``run_id``
+    attaches a :class:`JsonlSink` under the run directory; ``jsonl`` names
+    an explicit file instead.  ``propagate_env`` exports the level so
+    worker processes (fork *and* spawn) buffer-and-forward their events.
+    """
+    name = level if level is not None else env_level()
+    if name not in LEVELS:
+        raise ValueError(f"unknown log level {name!r}; known: {sorted(LEVELS)}")
+    if propagate_env:
+        os.environ[LOG_ENV] = name
+    sinks: list = []
+    if name != "off":
+        if stderr:
+            sinks.append(StderrSink(level=max(LEVELS[name], LEVELS["warning"])
+                                    if name not in ("debug",) else LEVELS[name]))
+        path = jsonl if jsonl is not None else (telemetry_path(run_id) if run_id else None)
+        if path is not None:
+            sinks.append(JsonlSink(path, level=name))
+    tracer = Tracer(sinks)
+    set_tracer(tracer)
+    return tracer
+
+
+# --------------------------------------------------------------------------
+# worker-event forwarding
+# --------------------------------------------------------------------------
+
+
+class forwarding_buffer:
+    """Context manager buffering this process's events for forwarding.
+
+    Used inside pool/subprocess workers: events emitted while the buffer
+    is open are collected (in addition to any local sinks) and the caller
+    ships ``buf.events`` back over its result channel.  When telemetry is
+    disabled (env level ``off`` and no active sinks) this is a no-op and
+    ``events`` stays empty.
+    """
+
+    def __init__(self):
+        self.events: list[dict] = []
+        self._sink: BufferSink | None = None
+
+    def __enter__(self) -> "forwarding_buffer":
+        tracer = get_tracer()
+        level = env_level()
+        if level == "off" and not tracer.sinks:
+            return self
+        self._sink = BufferSink(level="debug" if level == "off" else level)
+        self.events = self._sink.events
+        tracer.add_sink(self._sink)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._sink is not None:
+            get_tracer().remove_sink(self._sink)
+            self._sink = None
+
+
+def attach_forwarded(record, events: list[dict]):
+    """Stash buffered worker events on a record's ``extra`` for the trip home."""
+    if events:
+        record.extra[FORWARD_KEY] = events
+    return record
+
+
+def absorb_forwarded(record):
+    """Pop forwarded events off a record and re-emit them locally.
+
+    Called by the parent as each worker result arrives — before the record
+    reaches the journal or any progress callback, so forwarded telemetry
+    never pollutes persisted run state.  Events stamped with this process's
+    own pid were produced in-process (serial path) and already reached the
+    local sinks when they happened; only cross-process events re-emit.
+    """
+    extra = getattr(record, "extra", None)
+    if not extra:
+        return record
+    events = extra.pop(FORWARD_KEY, None)
+    if events:
+        tracer = get_tracer()
+        pid = os.getpid()
+        for event in events:
+            if event.get("pid") == pid:
+                continue
+            event.setdefault("forwarded", True)
+            tracer.emit_raw(event)
+    return record

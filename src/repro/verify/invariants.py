@@ -39,6 +39,7 @@ __all__ = [
     "check_isolated_padding",
     "check_duplicate_idempotence",
     "check_parallel_determinism",
+    "check_telemetry",
     "run_invariants",
 ]
 
@@ -246,6 +247,90 @@ def check_parallel_determinism(
     )
 
 
+def check_telemetry(
+    *,
+    algorithms: Sequence[str] = ("Polak",),
+    datasets: Sequence[str] = ("As-Caida",),
+    blocks: int = GOLDEN_BLOCKS,
+) -> InvariantResult:
+    """Telemetry structural invariants over a journaled run plus its resume.
+
+    Three facts any correct tracer must satisfy: spans strictly nest per
+    (pid, thread); the per-launch span counter deltas sum to the cell's
+    reported totals; and a resumed run emits exactly one terminal
+    ``cell_complete`` event per cell (completed cells are replayed from the
+    journal, not re-executed twice).
+    """
+    from ..framework.resilience import new_run_id
+    from ..obs.tracer import BufferSink, Tracer, set_tracer
+
+    buf = BufferSink()
+    old = set_tracer(Tracer([buf]))
+    try:
+        run_id = new_run_id()
+        matrix = run_matrix(
+            algorithms, datasets, max_blocks_simulated=blocks, run_id=run_id
+        )
+        first_events = list(buf.events)
+        buf.events.clear()
+        run_matrix(algorithms, datasets, max_blocks_simulated=blocks, resume=run_id)
+        resume_events = list(buf.events)
+    finally:
+        set_tracer(old)
+
+    # 1. strict span nesting per (pid, tid) across both runs
+    for events in (first_events, resume_events):
+        stacks: dict[tuple, list[str]] = {}
+        for e in events:
+            key = (e.get("pid"), e.get("tid"))
+            kind = e.get("event")
+            if kind == "span_begin":
+                stacks.setdefault(key, []).append(e["span"])
+            elif kind == "span_end":
+                stack = stacks.setdefault(key, [])
+                if not stack or stack[-1] != e["span"]:
+                    return InvariantResult(
+                        "telemetry", False,
+                        f"span_end {e.get('name')}/{e['span']} does not close the "
+                        f"innermost open span on {key}",
+                    )
+                stack.pop()
+        leaked = {k: v for k, v in stacks.items() if v}
+        if leaked:
+            return InvariantResult("telemetry", False, f"unclosed spans: {leaked}")
+
+    # 2. launch-span counter deltas sum to the cell totals
+    launch_req = sum(
+        e.get("counters", {}).get("global_load_requests", 0)
+        for e in first_events
+        if e.get("event") == "span_end" and e.get("name") == "launch"
+    )
+    total_req = sum(r.global_load_requests or 0 for r in matrix.records if r.usable)
+    if abs(launch_req - total_req) > 1e-6 * max(1.0, abs(total_req)):
+        return InvariantResult(
+            "telemetry", False,
+            f"launch span counters sum to {launch_req}, cells report {total_req}",
+        )
+
+    # 3. the resumed run emits exactly one terminal event per cell
+    counts: dict[tuple[str, str], int] = {}
+    for e in resume_events:
+        if e.get("msg") == "cell_complete":
+            key = (e.get("algorithm"), e.get("dataset"))
+            counts[key] = counts.get(key, 0) + 1
+    expected = {(r.algorithm, r.dataset) for r in matrix.records}
+    if set(counts) != expected or any(v != 1 for v in counts.values()):
+        return InvariantResult(
+            "telemetry", False,
+            f"terminal events per cell on resume: {counts} (want one each of {expected})",
+        )
+    return InvariantResult(
+        "telemetry", True,
+        f"nesting + counter conservation + resume terminality on "
+        f"{len(matrix.records)} cells",
+    )
+
+
 def run_invariants(
     *, seeds: int = 6, include_parallel: bool = True
 ) -> list[InvariantResult]:
@@ -258,6 +343,7 @@ def run_invariants(
         check_disjoint_union(seed_list),
         check_isolated_padding(seed_list),
         check_duplicate_idempotence(seed_list),
+        check_telemetry(),
     ]
     if include_parallel:
         results.append(check_parallel_determinism())

@@ -1,0 +1,297 @@
+"""Observability subsystem: tracer, attribution conservation, profile CLI.
+
+The load-bearing assertion is *conservation*: per-source-line counters
+summed over the hotspot table must equal the launch totals the golden
+tests pin — under both simulator engines and on warm trace-cache hits.
+If attribution ever drifts from the metrics, the profiler is lying.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.framework.cli import main
+from repro.framework.parallel import run_cells
+from repro.gpu.metrics import ProfileMetrics
+from repro.obs.attribution import LINE_FIELDS, LineProfileCollector
+from repro.obs.chrome import timeline_to_trace, validate_trace, write_trace
+from repro.obs.session import profile_run
+from repro.obs.timeline import build_timeline
+from repro.obs.tracer import (
+    FORWARD_KEY,
+    TELEMETRY_SCHEMA,
+    BufferSink,
+    JsonlSink,
+    Tracer,
+    set_tracer,
+)
+
+ENGINES = ("vectorized", "event")
+
+
+@pytest.fixture
+def tracer_buf():
+    """Install an isolated in-memory tracer; restore the old one after."""
+    buf = BufferSink()
+    old = set_tracer(Tracer([buf]))
+    yield buf
+    set_tracer(old)
+
+
+# -- tracer core -------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_and_event_shape(self, tracer_buf):
+        tracer = Tracer([tracer_buf])
+        set_tracer(tracer)
+        with tracer.span("outer", level="info", tag="a"):
+            with tracer.span("inner", level="info"):
+                tracer.info("hello", n=3)
+        events = tracer_buf.events
+        kinds = [(e["event"], e.get("name")) for e in events]
+        assert kinds == [
+            ("span_begin", "outer"), ("span_begin", "inner"),
+            ("log", "log"), ("span_end", "inner"), ("span_end", "outer"),
+        ]
+        for e in events:
+            assert e["schema"] == TELEMETRY_SCHEMA
+            assert isinstance(e["ts"], float)
+            assert e["pid"] == os.getpid()
+        begin_inner = events[1]
+        end_outer = events[-1]
+        assert begin_inner["parent"] == events[0]["span"]
+        assert begin_inner["depth"] == 1
+        assert end_outer["dur_s"] >= 0
+        assert end_outer["tag"] == "a"
+
+    def test_exception_safety(self, tracer_buf):
+        tracer = Tracer([tracer_buf])
+        set_tracer(tracer)
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        ends = [e for e in tracer_buf.events if e["event"] == "span_end"]
+        assert [e["name"] for e in ends] == ["inner", "outer"]
+        assert all(e["error"] == "ValueError: boom" for e in ends)
+        assert tracer._stack() == []  # fully unwound
+
+    def test_disabled_tracer_is_null(self):
+        tracer = Tracer()  # no sinks => min_level off
+        assert not tracer.enabled("error")
+        span = tracer.span("x")
+        with span:
+            span.set(ignored=True)  # NULL_SPAN: all no-ops
+
+    def test_counter_deltas_ride_on_span_end(self, tracer_buf):
+        tracer = Tracer([tracer_buf])
+        set_tracer(tracer)
+        metrics = ProfileMetrics()
+        with tracer.span("work", metrics=metrics):
+            metrics.global_load_requests += 7
+        end = tracer_buf.events[-1]
+        assert end["counters"]["global_load_requests"] == 7
+
+
+class TestJsonlRoundTrip:
+    def test_schema_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer([sink])
+        old = set_tracer(tracer)
+        try:
+            with tracer.span("launch", kernel="k", grid_dim=8):
+                tracer.warning("watch out", code=7)
+        finally:
+            sink.close()
+            set_tracer(old)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 3
+        assert {e["schema"] for e in lines} == {TELEMETRY_SCHEMA}
+        begin, log, end = lines
+        assert begin["event"] == "span_begin" and begin["grid_dim"] == 8
+        assert log["msg"] == "watch out" and log["span"] == begin["span"]
+        assert end["event"] == "span_end" and end["span"] == begin["span"]
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_delta_pair(self):
+        m = ProfileMetrics()
+        before = m.snapshot()
+        m.global_load_requests += 5
+        m.warp_steps += 2
+        m.kernel_launches += 1
+        d = m.delta(before)
+        assert d["global_load_requests"] == 5
+        assert d["warp_steps"] == 2
+        assert d["kernel_launches"] == 1
+        assert all(v == 0 for k, v in d.items()
+                   if k not in ("global_load_requests", "warp_steps", "kernel_launches"))
+
+    def test_add_counters_order_deterministic(self):
+        a, b = ProfileMetrics(), ProfileMetrics()
+        deltas = {"warp_steps": 0.1, "global_load_requests": 0.2, "alu_cycles": 0.3}
+        a.add_counters(deltas)
+        b.add_counters(dict(reversed(list(deltas.items()))))
+        assert a.snapshot() == b.snapshot()
+
+
+# -- attribution conservation ------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestConservation:
+    def test_line_sums_equal_metric_totals(self, engine):
+        session = profile_run("Polak", "As-Caida", engine=engine, max_blocks_simulated=4)
+        rec, col = session.record, session.collector
+        assert rec.ok
+        assert col.launches >= 1
+        assert col.line_total("global_load_requests") == pytest.approx(
+            rec.global_load_requests, rel=1e-6
+        )
+        assert col.line_total("global_load_requests") == pytest.approx(
+            col.kernel_total("global_load_requests"), rel=1e-6
+        )
+        # every hot line carries a real source location
+        for (fname, lineno), values in col.hot_lines(top=5):
+            assert fname and lineno > 0
+            assert set(values) == set(LINE_FIELDS)
+
+    def test_warm_cache_hit_preserves_attribution(self, engine):
+        cold = profile_run("Polak", "As-Caida", engine=engine, max_blocks_simulated=4)
+        warm = profile_run("Polak", "As-Caida", engine=engine, max_blocks_simulated=4)
+        assert warm.collector.lines == cold.collector.lines
+        if engine == "vectorized":
+            # Launch capture (for the timeline) needs recorded traces,
+            # which only the vectorized engine produces — and it must
+            # fire on the warm cache-hit path too.
+            assert warm.launches and len(warm.launches) == len(cold.launches)
+
+
+def test_engines_attribute_identically():
+    vec = profile_run("Polak", "As-Caida", engine="vectorized", max_blocks_simulated=4)
+    evt = profile_run("Polak", "As-Caida", engine="event", max_blocks_simulated=4)
+    assert set(vec.collector.lines) == set(evt.collector.lines)
+    for loc, values in vec.collector.lines.items():
+        for field in LINE_FIELDS:
+            assert values[field] == pytest.approx(
+                evt.collector.lines[loc][field], rel=1e-6
+            ), (loc, field)
+
+
+# -- timeline & Chrome export ------------------------------------------------
+
+
+class TestTimeline:
+    # Timeline construction needs captured launch traces, which only the
+    # vectorized engine records — pin it so the test holds under
+    # REPRO_SIM_ENGINE=event too.
+    def test_build_and_validate_trace(self, tmp_path):
+        session = profile_run(
+            "Polak", "As-Caida", engine="vectorized", max_blocks_simulated=4
+        )
+        timeline = build_timeline(session.launches)
+        assert timeline.sm_count >= 1
+        assert timeline.slices
+        assert all(0 <= s.sm < timeline.sm_count for s in timeline.slices)
+        assert all(s.dur_us >= 0 for s in timeline.slices)
+        trace = timeline_to_trace(timeline, telemetry_events=session.events)
+        assert validate_trace(trace) == []
+        path = tmp_path / "trace.json"
+        write_trace(trace, path)
+        assert validate_trace(json.loads(path.read_text())) == []
+
+    def test_phases_nest_inside_block_slice(self):
+        session = profile_run(
+            "Bisson", "As-Caida", engine="vectorized", max_blocks_simulated=4
+        )
+        timeline = build_timeline(session.launches)
+        for s in timeline.slices:
+            end = s.start_us + s.dur_us
+            for t0, dur in s.phases:
+                assert s.start_us - 1e-9 <= t0 and t0 + dur <= end + 1e-9
+
+    def test_validator_flags_garbage(self):
+        assert validate_trace({}) == ["traceEvents missing or not a list"]
+        bad = {"traceEvents": [{"ph": "X", "pid": 1, "tid": 0, "ts": -1, "name": "k"}]}
+        assert any("bad ts" in p for p in validate_trace(bad))
+        unbalanced = {"traceEvents": [
+            {"ph": "E", "pid": 0, "tid": 0, "ts": 1.0, "name": "s"},
+        ]}
+        assert any("E without matching B" in p for p in validate_trace(unbalanced))
+
+
+# -- worker forwarding -------------------------------------------------------
+
+
+class TestForwarding:
+    def test_parallel_workers_forward_events(self, tracer_buf):
+        cells = [("Polak", "As-Caida"), ("Bisson", "As-Caida")]
+        records = run_cells(cells, jobs=2, max_blocks_simulated=4)
+        assert [r.status for r in records] == ["ok", "ok"]
+        assert all(FORWARD_KEY not in r.extra for r in records)
+        forwarded = [e for e in tracer_buf.events if e.get("forwarded")]
+        assert forwarded, "worker events never reached the parent tracer"
+        assert {e["name"] for e in forwarded} >= {"cell", "launch"}
+        assert all(e["pid"] != os.getpid() for e in forwarded)
+
+    def test_serial_path_emits_without_duplicates(self, tracer_buf):
+        records = run_cells([("Polak", "As-Caida")], jobs=1, max_blocks_simulated=4)
+        assert records[0].status == "ok"
+        assert FORWARD_KEY not in records[0].extra
+        cell_ends = [
+            e for e in tracer_buf.events
+            if e.get("event") == "span_end" and e.get("name") == "cell"
+        ]
+        assert len(cell_ends) == 1
+
+
+# -- profile CLI -------------------------------------------------------------
+
+
+class TestProfileCli:
+    def test_profile_command(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        # --engine vectorized: the trace export needs recorded launches,
+        # so the test must not inherit REPRO_SIM_ENGINE=event from CI.
+        code = main([
+            "--blocks", "4", "--engine", "vectorized",
+            "profile", "Polak", "As-Caida",
+            "--top", "5", "--export-trace", str(trace_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "==PROF==" in out
+        assert "_polak_thread" in out
+        assert "polak.py:" in out  # hotspot rows name real source lines
+        assert "wrote Chrome trace" in out
+        trace = json.loads(trace_path.read_text())
+        assert validate_trace(trace) == []
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+    def test_export_skipped_without_launches(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "--blocks", "4", "--engine", "event",
+            "profile", "Polak", "As-Caida", "--export-trace", str(trace_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "==PROF==" in out  # the report itself works on both engines
+        assert "skipping trace export" in out
+        assert not trace_path.exists()
+
+    def test_profile_unknown_dataset_fails_cleanly(self, capsys):
+        with pytest.raises(KeyError):
+            main(["profile", "Polak", "Not-A-Dataset"])
+
+    def test_log_flags_parse(self):
+        from repro.framework.cli import build_parser
+        args = build_parser().parse_args(["--verbose", "table1"])
+        assert args.verbose and not args.quiet
+        args = build_parser().parse_args(["--log-level", "debug", "table1"])
+        assert args.log_level == "debug"
+        with pytest.raises(SystemExit):  # mutually exclusive
+            build_parser().parse_args(["--quiet", "--verbose", "table1"])

@@ -13,6 +13,7 @@ from repro.verify.invariants import (
     check_parallel_determinism,
     check_relabelling,
     check_sampling_consistency,
+    check_telemetry,
     run_invariants,
 )
 
@@ -44,14 +45,21 @@ def test_parallel_matrix_is_deterministic():
     assert result.passed, result.detail
 
 
+@pytest.mark.slow
+def test_telemetry_invariant_holds():
+    result = check_telemetry()
+    assert result.passed, result.detail
+
+
 def test_run_invariants_catalogue(monkeypatch):
     results = run_invariants(seeds=3, include_parallel=False)
-    assert len(results) == 6
+    assert len(results) == 7
     assert all(r.passed for r in results), [str(r) for r in results if not r.passed]
     names = [r.name for r in results]
     assert names == [
         "metric-ranges", "sampling-consistency", "relabelling",
         "disjoint-union", "isolated-padding", "duplicate-idempotence",
+        "telemetry",
     ]
 
 
