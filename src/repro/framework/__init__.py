@@ -6,6 +6,9 @@
 * :mod:`~repro.framework.parallel` — process-pool fan-out for the matrix.
 * :mod:`~repro.framework.resilience` — checkpoint/resume journal, cell
   timeouts with degrading retries, validation & quarantine, chaos harness.
+* :mod:`~repro.framework.scheduler` — priority job queue with deadlines,
+  precision shedding, and worker supervision (shared by ``run_matrix``
+  and the ``repro serve`` daemon).
 * :mod:`~repro.framework.report` — Tables I/II and the figure series.
 * :mod:`~repro.framework.sweep` — configuration sweeps / ablations.
 """
@@ -21,7 +24,15 @@ from .resilience import (
     parse_chaos,
     run_cell_resilient,
     run_cells_resilient,
+    seeded_jitter,
     validate_record,
+)
+from .scheduler import (
+    CellJob,
+    JobHandle,
+    JobScheduler,
+    SupervisionPolicy,
+    shed_blocks,
 )
 from .report import (
     matrix_to_csv,
@@ -41,11 +52,15 @@ from .sweep import SweepPoint, best_config, sweep_config
 
 __all__ = [
     "DEFAULT_MAX_BLOCKS",
+    "CellJob",
     "ChaosSpec",
     "ComparisonMatrix",
+    "JobHandle",
+    "JobScheduler",
     "RetryPolicy",
     "RunJournal",
     "RunRecord",
+    "SupervisionPolicy",
     "SweepPoint",
     "best_config",
     "chaos_from_env",
@@ -66,6 +81,8 @@ __all__ = [
     "run_matrix",
     "run_one",
     "run_one_safe",
+    "seeded_jitter",
+    "shed_blocks",
     "sweep_config",
     "validate_record",
 ]

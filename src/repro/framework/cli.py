@@ -189,6 +189,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome/Perfetto trace-event JSON timeline here",
     )
 
+    sv = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant job service (line-delimited JSON over "
+        "a unix socket or localhost TCP)",
+    )
+    listen = sv.add_mutually_exclusive_group(required=True)
+    listen.add_argument("--socket", default=None, metavar="PATH",
+                        help="listen on a unix domain socket at PATH")
+    listen.add_argument("--port", type=int, default=None, metavar="N",
+                        help="listen on localhost TCP port N (0 = ephemeral)")
+    sv.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    sv.add_argument(
+        "--server-id", default=None,
+        help="stable id for the journal under .cache/serve/<id>/; reusing "
+        "an id replays its unfinished jobs on boot",
+    )
+    sv.add_argument("--workers", type=int, default=2,
+                    help="scheduler worker threads (each runs killable "
+                    "subprocess attempts)")
+    sv.add_argument("--max-queue-depth", type=int, default=64,
+                    help="hard admission watermark: reject above this depth")
+    sv.add_argument("--soft-queue-depth", type=int, default=16,
+                    help="soft watermark: precision shedding engages above this")
+    sv.add_argument("--quota-rate", type=float, default=50.0,
+                    help="per-client token-bucket refill (jobs/second)")
+    sv.add_argument("--quota-burst", type=float, default=100.0,
+                    help="per-client token-bucket burst capacity")
+    sv.add_argument("--default-deadline", type=float, default=60.0,
+                    metavar="SECONDS",
+                    help="wall-clock deadline for jobs that do not set one")
+    sv.add_argument("--drain-timeout", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="graceful-shutdown drain budget; jobs still queued "
+                    "after it stay journaled for the next boot")
+
     return p
 
 
@@ -197,18 +232,23 @@ def main(argv: list[str] | None = None) -> int:
     level = args.log_level or ("error" if args.quiet else "debug" if args.verbose else None)
     # A resumed run logs into the original run's directory, so the journal
     # and its telemetry stay side by side across interruptions.
-    configure_tracer(level=level, run_id=args.run_id or getattr(args, "resume", None))
-    if args.profile:
-        import cProfile
-        import pstats
+    tracer = configure_tracer(level=level, run_id=args.run_id or getattr(args, "resume", None))
+    # The JSONL sink batches (FLUSH_EVERY); without an explicit close the
+    # final sub-batch — or, for a short-lived daemon, everything — is lost.
+    try:
+        if args.profile:
+            import cProfile
+            import pstats
 
-        profiler = cProfile.Profile()
-        try:
-            return profiler.runcall(_dispatch, args)
-        finally:
-            stats = pstats.Stats(profiler, stream=sys.stderr)
-            stats.strip_dirs().sort_stats("cumulative").print_stats(25)
-    return _dispatch(args)
+            profiler = cProfile.Profile()
+            try:
+                return profiler.runcall(_dispatch, args)
+            finally:
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        return _dispatch(args)
+    finally:
+        tracer.close()
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -287,6 +327,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         return 0
 
+    if args.command == "serve":
+        return _serve(args)
+
     resilience_kwargs = dict(
         run_id=args.run_id,
         resume=args.resume,
@@ -348,6 +391,49 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Boot the job service and block until it shuts down."""
+    import signal
+
+    from ..framework.resilience import RetryPolicy
+    from ..serve.admission import AdmissionPolicy
+    from ..serve.server import TriangleServer
+
+    server = TriangleServer(
+        socket_path=args.socket,
+        port=args.port,
+        host=args.host,
+        server_id=args.server_id,
+        workers=args.workers,
+        admission=AdmissionPolicy(
+            max_queue_depth=args.max_queue_depth,
+            soft_queue_depth=args.soft_queue_depth,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+        ),
+        retry_policy=RetryPolicy(cell_timeout_s=args.cell_timeout),
+        default_deadline_s=args.default_deadline,
+        default_blocks=args.blocks,
+        engine=args.engine,
+        validate=args.validate,
+        drain_timeout_s=args.drain_timeout,
+    )
+    server.start()
+    # Machine-readable ready line: CI and tests block on this before
+    # connecting (the TCP port may have been ephemeral).
+    print(f"serve: listening {server.address} server_id={server.server_id}",
+          flush=True)
+
+    def _on_signal(signum, frame):  # pragma: no cover - signal path
+        server.shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    server.wait()
+    print(f"serve: stopped server_id={server.server_id}", flush=True)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -40,7 +40,6 @@ import time
 import uuid
 import zlib
 from collections.abc import Callable, Mapping, Sequence
-from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -76,8 +75,13 @@ __all__ = [
     "run_cell_resilient",
     "run_cells_resilient",
     "runs_root",
+    "seeded_jitter",
+    "set_chaos_kill_budget",
+    "is_worker_death",
     "validate_record",
     "DEFAULT_VALIDATE_MAX_EDGES",
+    "SERVE_CHAOS_MODES",
+    "WORKER_DEATH_MARKERS",
 ]
 
 # --------------------------------------------------------------------------
@@ -98,10 +102,24 @@ SLOW_SCALE_ENV = "REPRO_CHAOS_SLOW_SCALE"
 #: honoured so pre-existing tooling keeps working.
 LEGACY_CRASH_ENV = "REPRO_TEST_CRASH_CELL"
 
-CHAOS_MODES = ("raise", "exit", "hang", "slow", "flip", "corrupt")
+CHAOS_MODES = (
+    "raise", "exit", "hang", "slow", "flip", "corrupt",
+    # server-shaped faults (PR 7): the first two are applied by the serve
+    # connection layer (repro.serve.server), not by chaos_pre_run;
+    # worker_kill_midjob fires inside the cell worker, partway through.
+    "conn_drop", "slow_client", "worker_kill_midjob",
+)
+
+#: Chaos modes the *serve* layer applies at the connection boundary;
+#: :func:`chaos_pre_run` ignores them so cell workers stay unaffected.
+SERVE_CHAOS_MODES = ("conn_drop", "slow_client")
 
 #: Exit code used by the ``exit`` mode — simulates a segfault/OOM-kill.
 CHAOS_EXIT_CODE = 17
+
+#: Seconds a ``worker_kill_midjob`` worker runs before dying, so the kill
+#: lands mid-cell rather than degenerating into the pre-run ``exit`` mode.
+KILL_MIDJOB_DELAY_ENV = "REPRO_CHAOS_KILL_DELAY_S"
 
 
 class ChaosInjected(RuntimeError):
@@ -216,6 +234,38 @@ def corrupt_cached_bundle(dataset: str, *, ordering: str = "degree") -> None:
         path.write_bytes(bytes(data))
 
 
+def chaos_kill_budget_path() -> Path:
+    """Countdown file bounding ``worker_kill_midjob`` deaths (shared across
+    worker processes through the cache directory)."""
+    return gio.cache_dir() / "chaos_kill_budget"
+
+
+def set_chaos_kill_budget(n: int) -> None:
+    """Allow the next ``n`` triggered ``worker_kill_midjob`` faults to kill.
+
+    Without a budget file the mode kills unconditionally (circuit-breaker
+    drills); with one, each kill decrements it, so a job under worker-pool
+    supervision survives once the budget drains (restart-recovery drills).
+    """
+    chaos_kill_budget_path().write_text(str(int(n)))
+
+
+def _consume_kill_token() -> bool:
+    """True when this triggered kill may proceed (and one token is spent)."""
+    path = chaos_kill_budget_path()
+    try:
+        remaining = int(path.read_text().strip() or 0)
+    except (OSError, ValueError):
+        return True  # no budget file: unlimited kills
+    if remaining <= 0:
+        return False
+    try:
+        path.write_text(str(remaining - 1))
+    except OSError:  # pragma: no cover - cache dir vanished mid-run
+        pass
+    return True
+
+
 def chaos_pre_run(
     algorithm: str,
     dataset: str,
@@ -230,8 +280,17 @@ def chaos_pre_run(
     for spec in specs:
         if not spec.triggers(algorithm, dataset):
             continue
+        if spec.mode in SERVE_CHAOS_MODES:
+            continue  # connection-level faults; the serve layer applies them
         if spec.mode == "exit":
             os._exit(CHAOS_EXIT_CODE)  # simulate a hard worker death
+        elif spec.mode == "worker_kill_midjob":
+            # Let the cell get genuinely under way, then die like a segfault
+            # would: no cleanup, no record shipped back.  The parent sees a
+            # dead worker and the supervision path has to recover.
+            if _consume_kill_token():
+                time.sleep(float(os.environ.get(KILL_MIDJOB_DELAY_ENV) or 0.05))
+                os._exit(CHAOS_EXIT_CODE)
         elif spec.mode == "hang":
             time.sleep(float(os.environ.get(HANG_SECONDS_ENV) or 3600.0))
         elif spec.mode == "slow":
@@ -561,6 +620,18 @@ class CellTimeout(Exception):
     """A cell attempt exceeded its wall-clock budget and was killed."""
 
 
+def seeded_jitter(seed: int, key: str, attempt: int) -> float:
+    """Deterministic jitter draw in ``[-1, 1)`` for one backoff decision.
+
+    Seeded the same way the chaos harness seeds fault placement: the draw
+    depends only on ``(seed, key, attempt)``, so a retried run sleeps the
+    same jittered backoffs (reproducibility) while different cells sleep
+    *different* ones (no retry stampede).
+    """
+    draw = zlib.crc32(f"{seed}|{key}|{attempt}".encode()) / 0xFFFFFFFF
+    return 2.0 * draw - 1.0
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Wall-clock and retry budget for one matrix cell.
@@ -572,6 +643,14 @@ class RetryPolicy:
     ``min_blocks``.  A success at reduced fidelity is recorded as
     ``status="degraded"``; exhausting ``max_attempts`` yields
     ``status="failed"`` with a timeout error.
+
+    Backoffs are *jittered*: a deterministic schedule makes every cell that
+    timed out in the same scheduling wave retry in the same instant, which
+    is exactly the stampede that caused the wave in the first place.  The
+    multiplicative ``jitter`` spreads retries over ``±jitter`` of the
+    exponential base value, seeded per ``(jitter_seed, key, attempt)`` via
+    :func:`seeded_jitter` so runs stay reproducible.  ``jitter=0`` restores
+    the exact legacy schedule.
     """
 
     cell_timeout_s: float | None = None
@@ -580,12 +659,16 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     degrade_factor: float = 0.5
     min_blocks: int = 1
+    jitter: float = 0.25
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if not 0.0 < self.degrade_factor < 1.0:
             raise ValueError("degrade_factor must be in (0, 1)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
 
     def next_blocks(self, blocks: int | None) -> int:
         """Block budget for the retry after a timeout at ``blocks``."""
@@ -593,9 +676,30 @@ class RetryPolicy:
             return DEFAULT_MAX_BLOCKS
         return max(self.min_blocks, int(blocks * self.degrade_factor))
 
-    def backoff_s(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt + 1`` (0-based)."""
-        return self.backoff_base_s * self.backoff_factor**attempt
+    def backoff_s(self, attempt: int, key: str = "") -> float:
+        """Sleep before retry number ``attempt + 1`` (0-based).
+
+        ``key`` identifies the retrying entity (the resilient executor
+        passes ``"ALG/DS"``) so simultaneous retries of different cells
+        decorrelate while repeat runs of the same cell reproduce exactly.
+        """
+        base = self.backoff_base_s * self.backoff_factor**attempt
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * seeded_jitter(self.jitter_seed, key, attempt))
+
+
+#: Error-text markers of a worker process that died without reporting —
+#: produced by :func:`_attempt_cell`; the scheduler's supervision layer
+#: keys its restart/circuit-break decisions on these.
+WORKER_DEATH_MARKERS = ("worker process died", "worker pipe closed")
+
+
+def is_worker_death(record: RunRecord) -> bool:
+    """True when a failed record describes a dead worker, not a cell error."""
+    return record.status == "failed" and any(
+        marker in (record.error or "") for marker in WORKER_DEATH_MARKERS
+    )
 
 
 @functools.lru_cache(maxsize=1)
@@ -750,7 +854,7 @@ def run_cell_resilient(
             )
             if attempt + 1 >= policy.max_attempts:
                 break
-            time.sleep(policy.backoff_s(attempt))
+            time.sleep(policy.backoff_s(attempt, key=f"{_algorithm_name(algorithm)}/{dataset}"))
             blocks = policy.next_blocks(blocks)
             continue
         if timeouts and record.status == "ok" and blocks != initial:
@@ -884,32 +988,34 @@ def run_cells_resilient(
         )
         workers = _resolve_jobs(jobs, len(pending))
 
-        def _run(i: int) -> RunRecord:
-            algorithm, ds = cells[i]
-            return run_cell_resilient(
-                algorithm,
-                ds,
-                policy=policy,
-                device=device,
-                capacity_device=capacity_device,
-                ordering=ordering,
-                max_blocks_simulated=max_blocks_simulated,
-                cost_model=cost_model,
-                engine=engine,
-                validate=validate,
-            )
+        # The batch path and the serve daemon drive the same scheduler
+        # (scheduler/executor split): submit every pending cell, let the
+        # worker threads drain the queue, journal each record as its
+        # completion callback fires.  Late import: scheduler.py imports
+        # this module's executor primitives.
+        from .scheduler import CellJob, JobScheduler
 
-        if workers == 1:
+        scheduler = JobScheduler(
+            workers=workers,
+            policy=policy,
+            device=device,
+            capacity_device=capacity_device,
+            ordering=ordering,
+            max_blocks_simulated=max_blocks_simulated,
+            cost_model=cost_model,
+            engine=engine,
+            validate=validate,
+        )
+        try:
+            handles = []
             for i in pending:
-                _finish(i, _run(i), fresh=True)
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_run, i): i for i in pending}
-                for fut in as_completed(futures):
-                    i = futures[fut]
-                    try:
-                        record = fut.result()
-                    except Exception as exc:  # pragma: no cover - defensive
-                        record = _failed_record(cells[i][0], cells[i][1], device, exc)
-                    _finish(i, record, fresh=True)
+                algorithm, ds = cells[i]
+                job = CellJob(_algorithm_name(algorithm), ds)
+                handles.append((i, scheduler.submit(
+                    job, on_done=lambda h, i=i: _finish(i, h.record, fresh=True),
+                )))
+            for _, handle in handles:
+                handle.result()
+        finally:
+            scheduler.shutdown(wait=False)
     return [r for r in results if r is not None]

@@ -1,0 +1,432 @@
+"""Job scheduler: the queueing half of the scheduler/executor split.
+
+Until PR 7 the framework had exactly one way to run many cells — hand the
+full list to an executor and wait.  A long-running service needs the
+missing half: a component that *owns a queue* and decides, continuously,
+which cell to run next, with what fidelity, and under which wall-clock
+budget.  :class:`JobScheduler` is that component, and it is deliberately
+transport-agnostic: :func:`repro.framework.resilience.run_cells_resilient`
+(and through it ``run_matrix``) submits a fixed batch and drains it, while
+:mod:`repro.serve.server` keeps one scheduler alive for days and feeds it
+jobs from sockets.  Both drive the same code path, so every robustness
+property below is exercised by the ordinary test matrix, not just by the
+daemon:
+
+* **priority queue** — higher ``priority`` runs first; ties run FIFO in
+  submission order, so a batch submit degenerates to the legacy ordering;
+* **deadlines** — a job's wall-clock deadline propagates into the cell
+  timeout of the executor underneath (the attempt subprocess is killed
+  when the deadline passes, not merely noticed late), and a job that is
+  already past its deadline when popped terminals immediately as
+  ``failed`` with a ``DeadlineExpired`` error instead of wasting a worker;
+* **graceful degradation** — a job admitted at ``shed_level > 0`` runs at
+  ``max_blocks >> shed_level`` (the same halving ladder the timeout
+  degradation uses), trading sampled-grid precision for queue drain
+  before any job has to be rejected outright;
+* **worker supervision** — each execution happens in a killable
+  subprocess via :func:`~repro.framework.resilience.run_cell_resilient`;
+  a worker that dies without reporting (segfault-style ``os._exit``, the
+  ``worker_kill_midjob`` chaos mode) is restarted under exponential
+  backoff with seeded jitter, and after ``max_worker_deaths`` deaths the
+  job is *circuit-broken*: terminal ``failed`` with
+  ``extra["circuit_open"]`` so a poisoned input can't eat the pool.
+
+Every terminal outcome is a plain :class:`~repro.framework.runner.
+RunRecord`; the scheduler never raises for a job failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..gpu.costmodel import CostModel
+from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
+from ..obs.tracer import get_tracer
+from .resilience import (
+    RetryPolicy,
+    _algorithm_name,
+    _failed_record,
+    is_worker_death,
+    run_cell_resilient,
+    seeded_jitter,
+)
+from .runner import DEFAULT_MAX_BLOCKS, RunRecord
+
+__all__ = [
+    "CellJob",
+    "DeadlineExpired",
+    "JobHandle",
+    "JobScheduler",
+    "SupervisionPolicy",
+    "new_job_id",
+    "shed_blocks",
+]
+
+
+class DeadlineExpired(Exception):
+    """A job's wall-clock deadline passed before it could complete."""
+
+
+def new_job_id() -> str:
+    """Fresh, filesystem-safe job identifier."""
+    return "job-" + uuid.uuid4().hex[:12]
+
+
+def shed_blocks(blocks: int | None, shed_level: int, *, min_blocks: int = 1) -> int | None:
+    """Block budget after ``shed_level`` halvings (the degradation ladder).
+
+    An unlimited (``None``) budget sheds to :data:`DEFAULT_MAX_BLOCKS`
+    first — precision shedding must actually bound work to mean anything.
+    """
+    if shed_level <= 0:
+        return blocks
+    base = DEFAULT_MAX_BLOCKS if blocks is None else blocks
+    return max(min_blocks, base >> shed_level)
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Restart/circuit-break budget for worker deaths on one job.
+
+    Worker deaths are distinct from timeouts (which
+    :class:`~repro.framework.resilience.RetryPolicy` handles inside the
+    executor): a death is a worker that vanished without reporting, and
+    the cure is a fresh worker, not a smaller problem.  Restarts back off
+    exponentially with the same seeded jitter the retry path uses; after
+    ``max_worker_deaths`` deaths the job is circuit-broken.
+    """
+
+    max_worker_deaths: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_worker_deaths < 1:
+            raise ValueError("max_worker_deaths must be >= 1")
+
+    def restart_backoff_s(self, deaths: int, key: str = "") -> float:
+        """Sleep before restarting after the ``deaths``-th worker death."""
+        base = self.backoff_base_s * self.backoff_factor ** (deaths - 1)
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * seeded_jitter(self.jitter_seed, key, deaths))
+
+
+@dataclass
+class CellJob:
+    """One schedulable unit of work: a matrix cell plus service metadata."""
+
+    algorithm: str
+    dataset: str
+    job_id: str = field(default_factory=new_job_id)
+    priority: int = 0
+    #: absolute :func:`time.monotonic` deadline (``None``: unbounded).
+    deadline: float | None = None
+    shed_level: int = 0
+    client: str = ""
+    #: per-job execution overrides (``ordering`` / ``blocks`` / ``engine``
+    #: / ``validate``); anything absent falls back to scheduler defaults.
+    overrides: dict = field(default_factory=dict)
+
+    def remaining_s(self, now: float | None = None) -> float | None:
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.monotonic() if now is None else now)
+
+
+class JobHandle:
+    """Caller-side view of one submitted job."""
+
+    def __init__(self, job: CellJob) -> None:
+        self.job = job
+        self.state = "queued"  # queued -> running -> done | cancelled
+        self.record: RunRecord | None = None
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._cancelled = False
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def cancel(self) -> bool:
+        """Cancel a still-queued job (a running job is past cancelling).
+
+        Returns True when the cancellation took; the job then terminals
+        with a ``failed`` record whose error names the cancellation.
+        """
+        with self._lock:
+            if self.state != "queued" or self._done.is_set():
+                return False
+            self._cancelled = True
+            return True
+
+    def result(self, timeout: float | None = None) -> RunRecord:
+        """Block for the terminal record (raises TimeoutError on timeout)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job.job_id} not done after {timeout}s")
+        assert self.record is not None
+        return self.record
+
+
+class JobScheduler:
+    """Bounded pool of worker threads draining a priority job queue.
+
+    ``on_event(name, job, payload)`` fires on every lifecycle transition
+    (``job_queued`` / ``job_started`` / ``job_worker_restart`` /
+    ``job_done``) from whichever thread made the transition; the serve
+    layer streams these to clients as telemetry-shaped events.  Per-job
+    ``on_done(handle)`` callbacks fire after the terminal record is set.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        policy: RetryPolicy | None = None,
+        supervision: SupervisionPolicy | None = None,
+        device: DeviceSpec = SIM_V100,
+        capacity_device: DeviceSpec = TESLA_V100,
+        ordering: str = "degree",
+        max_blocks_simulated: int | None = DEFAULT_MAX_BLOCKS,
+        cost_model: CostModel | None = None,
+        engine: str | None = None,
+        validate: bool = False,
+        on_event: Callable[[str, CellJob, dict], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.policy = policy or RetryPolicy()
+        self.supervision = supervision or SupervisionPolicy()
+        self.defaults = dict(
+            device=device,
+            capacity_device=capacity_device,
+            ordering=ordering,
+            max_blocks_simulated=max_blocks_simulated,
+            cost_model=cost_model,
+            engine=engine,
+            validate=validate,
+        )
+        self._on_event = on_event
+        self._heap: list[tuple[int, int, JobHandle]] = []
+        self._seq = itertools.count()
+        self._cv = threading.Condition()
+        self._closed = False
+        self._running = 0
+        self._completed = 0
+        self._threads = [
+            threading.Thread(target=self._loop, name=f"repro-sched-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        job: CellJob,
+        *,
+        on_done: Callable[[JobHandle], None] | None = None,
+    ) -> JobHandle:
+        """Enqueue one job; returns immediately with its handle."""
+        handle = JobHandle(job)
+        handle._on_done = on_done  # type: ignore[attr-defined]
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), handle))
+            self._cv.notify()
+        self._emit("job_queued", job, {"priority": job.priority, "shed_level": job.shed_level})
+        return handle
+
+    def queue_depth(self) -> int:
+        with self._cv:
+            return len(self._heap)
+
+    def stats(self) -> dict:
+        with self._cv:
+            return {
+                "queue_depth": len(self._heap),
+                "running": self._running,
+                "completed": self._completed,
+                "workers": len(self._threads),
+            }
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the queue is empty and no job is running."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while self._heap or self._running:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cv.wait(timeout=remaining)
+        return True
+
+    def shutdown(self, *, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting jobs; optionally drain what is already queued."""
+        if wait:
+            self.drain(timeout=timeout)
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    # -- worker loop -------------------------------------------------------
+
+    def _emit(self, name: str, job: CellJob, payload: dict) -> None:
+        if self._on_event is not None:
+            try:
+                self._on_event(name, job, payload)
+            except Exception:  # pragma: no cover - observer must not kill workers
+                pass
+
+    def _pop(self) -> JobHandle | None:
+        with self._cv:
+            while not self._heap and not self._closed:
+                self._cv.wait()
+            if self._heap:
+                _, _, handle = heapq.heappop(self._heap)
+                self._running += 1
+                return handle
+            return None
+
+    def _loop(self) -> None:
+        while True:
+            handle = self._pop()
+            if handle is None:
+                return
+            try:
+                record = self._run_handle(handle)
+            except Exception as exc:  # pragma: no cover - defensive
+                record = _failed_record(
+                    handle.job.algorithm, handle.job.dataset,
+                    self.defaults["device"], exc,
+                )
+            self._finish(handle, record)
+
+    def _run_handle(self, handle: JobHandle) -> RunRecord:
+        job = handle.job
+        with handle._lock:
+            if handle._cancelled:
+                handle.state = "cancelled"
+                return self._terminal_failed(job, "Cancelled: cancelled while queued")
+            handle.state = "running"
+            handle.started_at = time.monotonic()
+        if job.deadline is not None and time.monotonic() >= job.deadline:
+            return self._terminal_failed(
+                job, "DeadlineExpired: deadline passed while queued",
+            )
+        self._emit("job_started", job, {
+            "queue_wait_s": round(handle.started_at - handle.submitted_at, 6),
+            "shed_level": job.shed_level,
+        })
+        return self._execute_supervised(handle)
+
+    def _terminal_failed(self, job: CellJob, error: str) -> RunRecord:
+        record = _failed_record(
+            job.algorithm, job.dataset, self.defaults["device"], RuntimeError("x")
+        )
+        return dataclasses.replace(record, error=error)
+
+    def _job_policy(self, job: CellJob) -> RetryPolicy | None:
+        """Retry policy with the cell timeout clamped to the job deadline."""
+        remaining = job.remaining_s()
+        if remaining is None:
+            return self.policy
+        if remaining <= 0:
+            return None  # caller treats as expired
+        timeout = self.policy.cell_timeout_s
+        timeout = remaining if timeout is None else min(timeout, remaining)
+        return dataclasses.replace(self.policy, cell_timeout_s=timeout)
+
+    def _execute_supervised(self, handle: JobHandle) -> RunRecord:
+        """Run one job to a terminal record under worker supervision."""
+        job = handle.job
+        over = job.overrides
+        blocks = shed_blocks(
+            over.get("blocks", self.defaults["max_blocks_simulated"]),
+            job.shed_level,
+            min_blocks=self.policy.min_blocks,
+        )
+        key = f"{_algorithm_name(job.algorithm)}/{job.dataset}"
+        deaths = 0
+        while True:
+            policy = self._job_policy(job)
+            if policy is None:
+                return self._terminal_failed(
+                    job, "DeadlineExpired: deadline passed before attempt",
+                )
+            record = run_cell_resilient(
+                job.algorithm,
+                job.dataset,
+                policy=policy,
+                device=self.defaults["device"],
+                capacity_device=self.defaults["capacity_device"],
+                ordering=over.get("ordering", self.defaults["ordering"]),
+                max_blocks_simulated=blocks,
+                cost_model=self.defaults["cost_model"],
+                engine=over.get("engine", self.defaults["engine"]),
+                validate=over.get("validate", self.defaults["validate"]),
+            )
+            if not is_worker_death(record):
+                if job.shed_level > 0:
+                    record = dataclasses.replace(
+                        record,
+                        extra={**record.extra, "shed_level": job.shed_level,
+                               "shed_blocks": blocks},
+                    )
+                return record
+            deaths += 1
+            get_tracer().warning(
+                "job_worker_death",
+                job=job.job_id, algorithm=_algorithm_name(job.algorithm),
+                dataset=job.dataset, deaths=deaths,
+            )
+            if deaths >= self.supervision.max_worker_deaths:
+                self._emit("job_circuit_open", job, {"worker_deaths": deaths})
+                return dataclasses.replace(
+                    record,
+                    error=(
+                        f"circuit open after {deaths} worker deaths: {record.error}"
+                    ),
+                    extra={**record.extra, "circuit_open": True, "worker_deaths": deaths},
+                )
+            self._emit("job_worker_restart", job, {"deaths": deaths})
+            time.sleep(self.supervision.restart_backoff_s(deaths, key=key))
+
+    def _finish(self, handle: JobHandle, record: RunRecord) -> None:
+        with handle._lock:
+            if handle.state != "cancelled":
+                handle.state = "done"
+            handle.record = record
+            handle.finished_at = time.monotonic()
+        self._emit("job_done", handle.job, {
+            "status": record.status,
+            "duration_s": round(handle.finished_at - (handle.started_at or handle.finished_at), 6),
+        })
+        with self._cv:
+            self._running -= 1
+            self._completed += 1
+            self._cv.notify_all()
+        handle._done.set()
+        on_done = getattr(handle, "_on_done", None)
+        if on_done is not None:
+            try:
+                on_done(handle)
+            except Exception:  # pragma: no cover - observer must not kill workers
+                pass

@@ -6,6 +6,7 @@ so this package must not pull in report rendering or timeline export at
 import time (the ``profile`` CLI imports those lazily).
 """
 
+from .counters import CounterSet
 from .attribution import (
     LineProfileCollector,
     active_collector,
@@ -31,6 +32,7 @@ from .tracer import (
 
 __all__ = [
     "BufferSink",
+    "CounterSet",
     "JsonlSink",
     "LEVELS",
     "LOG_ENV",

@@ -1,0 +1,53 @@
+"""Thread-safe named counters and gauges for long-running components.
+
+The tracer (:mod:`repro.obs.tracer`) captures *events* — things that
+happened at a point in time.  A daemon additionally needs *state you can
+ask for*: how deep is the queue right now, how many jobs were shed since
+boot.  :class:`CounterSet` is that registry — monotonically increasing
+counters plus last-value gauges behind one lock — with a :meth:`snapshot`
+that the serve layer returns from its ``stats`` op and periodically emits
+as an ordinary telemetry event, so queue-depth/shed/reject trends land in
+the same schema-versioned JSONL stream as everything else.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["CounterSet"]
+
+
+class CounterSet:
+    """Named monotonic counters and last-value gauges behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+
+    def inc(self, name: str, delta: int = 1) -> int:
+        """Add ``delta`` to a counter (created at 0); returns the new value."""
+        with self._lock:
+            value = self._counters.get(name, 0) + delta
+            self._counters[name] = value
+            return value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the current value of a gauge (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def get(self, name: str) -> float:
+        """Current value of a counter or gauge (0 when never touched)."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name]
+            return self._gauges.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy: ``{"counters": {...}, "gauges": {...}}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }

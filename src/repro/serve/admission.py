@@ -1,0 +1,230 @@
+"""Admission control: decide, in microseconds, what to do with a job.
+
+The server's accept/reject decision must stay fast and bounded no matter
+how deep the queue is — a controller that slows down under load *is* the
+overload.  Everything here is O(1) per decision behind one lock.
+
+Three mechanisms, applied in order:
+
+1. **Predicted cost** (:func:`estimate_cost`) — the Blanco et al. framing
+   from PAPERS.md: an objective, machine-independent work estimate
+   (replica edges × per-algorithm weight × block-budget fraction) that
+   admission uses *before* running anything.  Jobs are bounded both
+   individually (``max_job_cost``) and in aggregate (``max_queued_cost``).
+2. **Queue watermarks with a shedding ladder** — between the soft and
+   hard depth watermarks, jobs are still admitted but at an increasing
+   ``shed_level``; each level halves ``max_blocks_simulated`` (the same
+   ladder the timeout-degradation path uses), so the service degrades
+   sampled-grid precision before it degrades availability.  At the hard
+   watermark jobs are rejected with a ``retry_after_s`` hint derived
+   from the observed drain rate.
+3. **Per-client token buckets** — each client id refills at
+   ``quota_rate`` jobs/s up to ``quota_burst``; an empty bucket rejects
+   with ``quota_exceeded`` and the exact refill wait, so one chatty
+   client cannot starve the rest.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..framework.runner import DEFAULT_MAX_BLOCKS
+from ..graph.datasets import get_spec
+
+__all__ = [
+    "ALGORITHM_COST_WEIGHT",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "Decision",
+    "TokenBucket",
+    "estimate_cost",
+]
+
+#: Relative per-edge work weights by algorithm, anchored at merge-path
+#: binary search ≈ 1.  Rough figures from the golden matrix's sim times;
+#: admission only needs ordering-of-magnitude discrimination, not truth.
+ALGORITHM_COST_WEIGHT = {
+    "Polak": 1.0,
+    "Bisson": 1.2,
+    "Green": 1.1,
+    "Fox": 1.3,
+    "Hu": 1.1,
+    "TriCore": 1.0,
+    "TRUST": 0.9,
+    "H-INDEX": 1.4,
+    "GroupTC": 0.8,
+}
+
+
+def estimate_cost(algorithm: str, dataset: str, blocks: int | None) -> float:
+    """Predicted work units for one job (replica scale, dimensionless).
+
+    ``replica_edges x algorithm weight x block fraction`` — exactly the
+    per-job objective-metric estimate the admission controller needs to
+    make load-shedding decisions without running the job.  Raises
+    ``KeyError`` for an unknown dataset (callers reject as bad_request).
+    """
+    m = get_spec(dataset).replica_edges
+    weight = ALGORITHM_COST_WEIGHT.get(algorithm, 1.0)
+    # A full (unsampled) grid costs roughly 4x the default sampled budget
+    # on the big replicas; cap the fraction so cost stays finite.
+    fraction = 4.0 if blocks is None else max(blocks, 1) / DEFAULT_MAX_BLOCKS
+    return float(m) * weight * min(fraction, 4.0)
+
+
+class TokenBucket:
+    """Classic token bucket with an injected clock (tests pin timing)."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def take(self, now: float, n: float = 1.0) -> tuple[bool, float]:
+        """Try to spend ``n`` tokens; returns ``(ok, wait_s_until_ok)``."""
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True, 0.0
+        wait = (n - self.tokens) / self.rate if self.rate > 0 else float("inf")
+        return False, wait
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one admission decision."""
+
+    admitted: bool
+    shed_level: int = 0
+    code: str = ""           # reject reason ("overloaded" / "quota_exceeded")
+    message: str = ""
+    retry_after_s: float = 0.0
+    cost: float = 0.0
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Watermarks, quotas, and ladder shape for one server."""
+
+    #: hard depth watermark: at/above this, submits are rejected.
+    max_queue_depth: int = 64
+    #: soft depth watermark: above this, the shedding ladder engages.
+    soft_queue_depth: int = 16
+    #: aggregate predicted-cost ceiling for everything queued.
+    max_queued_cost: float = 5.0e7
+    #: per-job predicted-cost ceiling (None: unbounded).
+    max_job_cost: float | None = None
+    #: deepest precision-shed level (blocks >> level).
+    max_shed_level: int = 3
+    #: per-client token-bucket refill rate (jobs/second).
+    quota_rate: float = 50.0
+    #: per-client token-bucket burst capacity.
+    quota_burst: float = 100.0
+    #: fallback mean service time before any completion was observed.
+    default_service_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if not 0 <= self.soft_queue_depth <= self.max_queue_depth:
+            raise ValueError("need 0 <= soft_queue_depth <= max_queue_depth")
+        if self.max_shed_level < 0:
+            raise ValueError("max_shed_level must be >= 0")
+
+
+class AdmissionController:
+    """O(1) accept/shed/reject decisions against an :class:`AdmissionPolicy`."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None, *, clock=time.monotonic):
+        self.policy = policy or AdmissionPolicy()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        #: EWMA of observed job service time, for retry-after hints.
+        self._service_s = self.policy.default_service_s
+        self._observed = False
+
+    # -- feedback ----------------------------------------------------------
+
+    def observe_completion(self, duration_s: float) -> None:
+        """Fold one completed job's service time into the drain estimate."""
+        with self._lock:
+            alpha = 0.2 if self._observed else 1.0
+            self._service_s += alpha * (max(duration_s, 1e-4) - self._service_s)
+            self._observed = True
+
+    def service_time_s(self) -> float:
+        with self._lock:
+            return self._service_s
+
+    # -- the decision ------------------------------------------------------
+
+    def shed_level_for(self, queue_depth: int) -> int:
+        """Ladder position for a queue depth between the watermarks."""
+        p = self.policy
+        if queue_depth <= p.soft_queue_depth or p.max_shed_level == 0:
+            return 0
+        span = max(p.max_queue_depth - p.soft_queue_depth, 1)
+        over = queue_depth - p.soft_queue_depth
+        level = 1 + (p.max_shed_level - 1) * over // span
+        return min(level, p.max_shed_level)
+
+    def _drain_retry_after(self, queue_depth: int, workers: int) -> float:
+        """Seconds until the queue should have drained below the hard mark."""
+        overflow = queue_depth - self.policy.max_queue_depth + 1
+        per_job = self.service_time_s() / max(workers, 1)
+        return min(max(overflow * per_job, 0.05), 60.0)
+
+    def decide(
+        self,
+        *,
+        client: str,
+        cost: float,
+        queue_depth: int,
+        queued_cost: float,
+        workers: int = 1,
+    ) -> Decision:
+        """One admission decision; never blocks, never raises."""
+        p = self.policy
+        now = self.clock()
+        if p.max_job_cost is not None and cost > p.max_job_cost:
+            return Decision(
+                False, code="overloaded", cost=cost,
+                message=(
+                    f"job cost {cost:.3g} exceeds per-job ceiling {p.max_job_cost:.3g}"
+                ),
+                retry_after_s=0.0,  # retrying the same job will not help
+            )
+        if queue_depth >= p.max_queue_depth:
+            return Decision(
+                False, code="overloaded", cost=cost,
+                message=f"queue depth {queue_depth} at hard watermark {p.max_queue_depth}",
+                retry_after_s=self._drain_retry_after(queue_depth, workers),
+            )
+        if queued_cost + cost > p.max_queued_cost:
+            return Decision(
+                False, code="overloaded", cost=cost,
+                message=(
+                    f"queued predicted cost {queued_cost:.3g} + {cost:.3g} exceeds "
+                    f"{p.max_queued_cost:.3g}"
+                ),
+                retry_after_s=self._drain_retry_after(queue_depth, workers),
+            )
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    p.quota_rate, p.quota_burst, now
+                )
+            ok, wait = bucket.take(now)
+        if not ok:
+            return Decision(
+                False, code="quota_exceeded", cost=cost,
+                message=f"client {client!r} exceeded {p.quota_rate:g} jobs/s",
+                retry_after_s=min(wait, 60.0),
+            )
+        return Decision(True, shed_level=self.shed_level_for(queue_depth), cost=cost)

@@ -1,0 +1,109 @@
+"""Crash-safe job log: the daemon's exactly-once backbone.
+
+Two kinds of fsync'd JSONL lines under ``.cache/serve/<server_id>/``:
+
+* ``accepted`` — written *before* the accept response leaves the server,
+  so every client-held acceptance receipt is covered by a journal entry
+  (a receipt with no entry is impossible; an entry with no receipt just
+  means the response never arrived — the job still runs);
+* ``terminal`` — written when the job reaches a terminal record
+  (ok/degraded/failed/invalid), *before* the result frame is sent.
+
+Restart replay is then mechanical: every ``accepted`` without a
+``terminal`` is resubmitted with its original job id and parameters.  A
+job can therefore run more than once across a crash (the crash may have
+eaten an in-flight attempt), but it *terminals* exactly once per journal
+— which is the guarantee clients can build on, and what the kill -9
+chaos drill verifies against client-side receipts.
+
+Torn tails (the crash tearing the final line) parse as garbage and are
+skipped, exactly like :class:`repro.framework.resilience.RunJournal`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from ..framework.resilience import _json_default
+from ..graph import io as gio
+
+__all__ = ["JobJournal", "serve_root"]
+
+
+def serve_root() -> Path:
+    """Directory holding one subdirectory per server id."""
+    path = gio.cache_dir() / "serve"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+class JobJournal:
+    """Append-only accepted/terminal log for one server id."""
+
+    def __init__(self, server_id: str, root: Path | str | None = None) -> None:
+        if not server_id or "/" in server_id or server_id in (".", ".."):
+            raise ValueError(f"bad server id {server_id!r}")
+        self.server_id = server_id
+        self.dir = (Path(root) if root is not None else serve_root()) / server_id
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.dir / "jobs.jsonl"
+        self._lock = threading.Lock()
+
+    def _append(self, entry: dict) -> None:
+        line = json.dumps(entry, default=_json_default) + "\n"
+        with self._lock, self.path.open("a") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def accepted(self, job_id: str, request: dict, *, client: str = "",
+                 shed_level: int = 0) -> None:
+        """Journal an acceptance (call *before* answering the client)."""
+        self._append({
+            "kind": "accepted", "job": job_id, "ts": time.time(),
+            "client": client, "shed_level": shed_level, "request": request,
+        })
+
+    def terminal(self, job_id: str, status: str, record: dict) -> None:
+        """Journal a terminal outcome (call *before* sending the result)."""
+        self._append({
+            "kind": "terminal", "job": job_id, "ts": time.time(),
+            "status": status, "record": record,
+        })
+
+    def load(self) -> tuple[dict[str, dict], dict[str, list[dict]]]:
+        """``(accepted_by_id, terminal_lines_by_id)``; torn lines skipped.
+
+        Terminal entries are returned as *lists* so the exactly-once drill
+        can assert there is precisely one per accepted job — a dict keyed
+        by id would silently absorb duplicates.
+        """
+        accepted: dict[str, dict] = {}
+        terminals: dict[str, list[dict]] = {}
+        if not self.path.exists():
+            return accepted, terminals
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict) or "job" not in entry:
+                    continue
+                if entry.get("kind") == "accepted":
+                    accepted[entry["job"]] = entry
+                elif entry.get("kind") == "terminal":
+                    terminals.setdefault(entry["job"], []).append(entry)
+        return accepted, terminals
+
+    def pending(self) -> dict[str, dict]:
+        """Accepted jobs with no terminal entry — the restart replay set."""
+        accepted, terminals = self.load()
+        return {jid: e for jid, e in accepted.items() if jid not in terminals}

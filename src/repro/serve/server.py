@@ -1,0 +1,681 @@
+"""The ``repro serve`` daemon: sockets in front, one job scheduler behind.
+
+Architecture::
+
+    client ──conn──▶ reader thread ──▶ admission ──▶ JobScheduler (threads)
+                        │                  │               │ killable
+                        ▼                  ▼               ▼ subprocesses
+                    writer thread ◀── outbound queue ◀── completion hooks
+                                           │
+                                    JobJournal (fsync'd accepted/terminal)
+
+Every client connection gets a reader thread (frame parsing, dispatch)
+and a writer thread draining a *bounded* outbound queue — a client that
+stops reading fills its queue and is disconnected (backpressure) instead
+of blocking a scheduler completion hook.  All jobs from all connections
+multiplex onto one :class:`~repro.framework.scheduler.JobScheduler`, so
+the replica and trace caches are shared across clients by construction
+(the scheduler's forked workers inherit the parent's warm caches).
+
+Failure semantics (the contract the README table documents):
+
+* admission reject → ``rejected`` frame with ``retry_after_s``; the job
+  never existed;
+* accepted → journaled *before* the accept frame is sent; from then on
+  the job reaches exactly one terminal journal entry, crash or not;
+* deadline exceeded → typed ``error`` frame (``deadline_expired``) and a
+  terminal ``failed`` record;
+* worker deaths → restarts under backoff, then circuit-break: terminal
+  ``failed`` with ``circuit_open`` in ``extra``;
+* overload between the watermarks → accepted at ``shed_level > 0``
+  (halved block budget per level), visible in the result frame;
+* daemon killed → restart with the same ``--server-id`` replays the
+  journal and resubmits every non-terminal accepted job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import queue
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from ..algorithms.base import get_algorithm
+from ..framework.resilience import (
+    RetryPolicy,
+    SERVE_CHAOS_MODES,
+    chaos_from_env,
+    record_to_dict,
+)
+from ..framework.runner import DEFAULT_MAX_BLOCKS, RunRecord
+from ..framework.scheduler import CellJob, JobHandle, JobScheduler, SupervisionPolicy
+from ..graph.datasets import get_spec
+from ..obs.counters import CounterSet
+from ..obs.tracer import TELEMETRY_SCHEMA, get_tracer
+from .admission import AdmissionController, AdmissionPolicy, estimate_cost
+from .journal import JobJournal
+from . import protocol as proto
+
+__all__ = ["TriangleServer", "new_server_id"]
+
+#: Seconds a chaos-triggered ``slow_client`` handler stalls per frame.
+SLOW_CLIENT_ENV = "REPRO_CHAOS_SLOW_CLIENT_S"
+
+#: Outbound frames buffered per connection before backpressure disconnects.
+OUTBOUND_QUEUE_FRAMES = 512
+
+_RECV_BYTES = 65536
+
+
+def new_server_id() -> str:
+    """Fresh, filesystem-safe server identifier."""
+    return "srv-" + time.strftime("%Y%m%d-%H%M%S") + "-" + uuid.uuid4().hex[:6]
+
+
+class _Conn:
+    """One client connection: socket + bounded outbound queue + writer."""
+
+    def __init__(self, sock: socket.socket, peer: str, server: "TriangleServer") -> None:
+        self.sock = sock
+        self.peer = peer
+        self.server = server
+        self.alive = True
+        self._outq: queue.Queue = queue.Queue(maxsize=OUTBOUND_QUEUE_FRAMES)
+        self._writer = threading.Thread(
+            target=self._write_loop, name=f"serve-w-{peer}", daemon=True
+        )
+        self._writer.start()
+
+    def send(self, frame: dict) -> bool:
+        """Enqueue one frame; False (and disconnect) when the client is
+        too far behind — backpressure must never block the caller."""
+        if not self.alive:
+            return False
+        try:
+            self._outq.put_nowait(frame)
+            return True
+        except queue.Full:
+            self.server.counters.inc("conn_backpressure_drops")
+            self.close()
+            return False
+
+    def _write_loop(self) -> None:
+        while True:
+            frame = self._outq.get()
+            if frame is None or not self.alive:
+                return
+            try:
+                self.sock.sendall(proto.encode_frame(frame))
+            except OSError:
+                self.close()
+                return
+
+    def close(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        try:
+            self._outq.put_nowait(None)
+        except queue.Full:
+            pass
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self.server._forget_conn(self)
+
+
+@dataclass
+class _JobState:
+    """Server-side bookkeeping for one accepted job."""
+
+    job_id: str
+    request: dict
+    cost: float
+    shed_level: int
+    accepted_at: float
+    handle: JobHandle | None = None
+    terminal: dict | None = None        # record dict once terminal
+    terminal_status: str = ""
+    #: connections streaming progress events for this job.
+    stream_subs: list = field(default_factory=list)
+    #: connections awaiting the terminal result frame.
+    result_subs: list = field(default_factory=list)
+
+
+class TriangleServer:
+    """Fault-tolerant triangle-counting job service over LDJSON frames."""
+
+    def __init__(
+        self,
+        *,
+        socket_path: str | None = None,
+        port: int | None = None,
+        host: str = "127.0.0.1",
+        server_id: str | None = None,
+        workers: int = 2,
+        admission: AdmissionPolicy | None = None,
+        retry_policy: RetryPolicy | None = None,
+        supervision: SupervisionPolicy | None = None,
+        default_deadline_s: float | None = 60.0,
+        default_blocks: int | None = DEFAULT_MAX_BLOCKS,
+        engine: str | None = None,
+        validate: bool = False,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("pass exactly one of socket_path or port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.server_id = server_id or new_server_id()
+        self.workers = workers
+        self.default_deadline_s = default_deadline_s
+        self.default_blocks = default_blocks
+        self.drain_timeout_s = drain_timeout_s
+        self.counters = CounterSet()
+        self.admission = AdmissionController(admission)
+        self.journal = JobJournal(self.server_id)
+        self._chaos = chaos_from_env()
+        self._lock = threading.Lock()
+        self._jobs: dict[str, _JobState] = {}
+        self._queued_cost = 0.0
+        self._conns: set[_Conn] = set()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._shutting_down = False
+        self._stopped = threading.Event()
+        self._job_seq = 0
+        self.scheduler = JobScheduler(
+            workers=workers,
+            policy=retry_policy or RetryPolicy(cell_timeout_s=None),
+            supervision=supervision,
+            engine=engine,
+            validate=validate,
+            on_event=self._on_scheduler_event,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Replay the journal, bind the socket, start accepting."""
+        self._replay_journal()
+        if self.socket_path is not None:
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)  # stale socket from a crash
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(self.socket_path)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self.host, self.port or 0))
+            self.port = sock.getsockname()[1]
+        sock.listen(128)
+        self._listener = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        get_tracer().info(
+            "serve_listening", server_id=self.server_id,
+            address=self.address, workers=self.workers,
+        )
+
+    @property
+    def address(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server has fully shut down."""
+        return self._stopped.wait(timeout)
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Graceful stop: refuse new jobs, drain the queue, close conns.
+
+        Jobs still queued when ``drain_timeout_s`` runs out stay pending
+        in the journal and resume on the next boot with this server id.
+        """
+        with self._lock:
+            if self._shutting_down:
+                return
+            self._shutting_down = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if drain:
+            self.scheduler.drain(timeout=self.drain_timeout_s)
+        self.scheduler.shutdown(wait=False)
+        for conn in list(self._conns):
+            conn.close()
+        get_tracer().info("serve_stopped", server_id=self.server_id)
+        self._stopped.set()
+
+    def _forget_conn(self, conn: _Conn) -> None:
+        with self._lock:
+            self._conns.discard(conn)
+            for state in self._jobs.values():
+                if conn in state.stream_subs:
+                    state.stream_subs.remove(conn)
+                if conn in state.result_subs:
+                    state.result_subs.remove(conn)
+
+    # -- journal replay ----------------------------------------------------
+
+    def _replay_journal(self) -> None:
+        """Resubmit accepted-but-not-terminal jobs from a previous life."""
+        pending = self.journal.pending()
+        if not pending:
+            return
+        get_tracer().info(
+            "serve_replay", server_id=self.server_id, pending=len(pending)
+        )
+        self.counters.inc("journal_replayed_jobs", len(pending))
+        for job_id, entry in sorted(pending.items(), key=lambda kv: kv[1].get("ts", 0)):
+            request = entry.get("request", {})
+            deadline_s = request.get("deadline_s")
+            remaining = None
+            if deadline_s is not None:
+                remaining = entry.get("ts", time.time()) + deadline_s - time.time()
+                if remaining <= 0:
+                    # The deadline died with the old process; the job still
+                    # must reach a terminal state exactly once.
+                    record = self._expired_record(request, job_id)
+                    self._record_terminal(job_id, record, replay=True)
+                    continue
+            state = _JobState(
+                job_id=job_id, request=request, cost=float(entry.get("cost", 0.0)),
+                shed_level=int(entry.get("shed_level", 0)),
+                accepted_at=time.monotonic(),
+            )
+            with self._lock:
+                self._jobs[job_id] = state
+                self._queued_cost += state.cost
+            self._submit_to_scheduler(state, remaining_s=remaining)
+
+    def _expired_record(self, request: dict, job_id: str) -> RunRecord:
+        return RunRecord(
+            algorithm=str(request.get("algorithm", "?")),
+            dataset=str(request.get("dataset", "?")),
+            device="", status="failed",
+            error="DeadlineExpired: deadline passed before restart replay",
+        )
+
+    # -- accept loop & connection handling ---------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            peer = f"{addr}" if addr else "unix"
+            conn = _Conn(sock, peer, self)
+            with self._lock:
+                if self._shutting_down:
+                    conn.send(proto.error_frame("shutting_down", "server is draining"))
+                    conn.close()
+                    continue
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._read_loop, args=(conn,),
+                name=f"serve-r-{peer}", daemon=True,
+            ).start()
+
+    def _read_loop(self, conn: _Conn) -> None:
+        reader = proto.FrameReader()
+        try:
+            while conn.alive:
+                try:
+                    data = conn.sock.recv(_RECV_BYTES)
+                except OSError:
+                    break
+                if not data:
+                    break
+                try:
+                    lines = reader.feed(data)
+                except proto.FrameError as exc:
+                    self.counters.inc(f"frame_errors_{exc.code}")
+                    conn.send(proto.error_frame(exc.code, exc.message))
+                    break  # framing is gone; the connection is unusable
+                for line in lines:
+                    self._handle_line(conn, line)
+                try:
+                    reader.raise_if_poisoned()
+                except proto.FrameError as exc:
+                    self.counters.inc(f"frame_errors_{exc.code}")
+                    conn.send(proto.error_frame(exc.code, exc.message))
+                    break
+        finally:
+            # Give the writer a beat to flush any error frame, then drop.
+            time.sleep(0.01)
+            conn.close()
+
+    def _handle_line(self, conn: _Conn, line: bytes) -> None:
+        """Parse and dispatch one frame; never lets a client fault escape."""
+        try:
+            frame = proto.decode_frame(line)
+            request = proto.parse_request(frame)
+        except proto.FrameError as exc:
+            self.counters.inc(f"frame_errors_{exc.code}")
+            conn.send(proto.error_frame(exc.code, exc.message))
+            return
+        except proto.RequestError as exc:
+            self.counters.inc("bad_requests")
+            conn.send(proto.error_frame(exc.code, exc.message, tag=_tag(frame)))
+            return
+        try:
+            self._dispatch(conn, request)
+        except proto.RequestError as exc:
+            self.counters.inc("bad_requests")
+            conn.send(proto.error_frame(exc.code, exc.message, tag=_tag(request)))
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            get_tracer().error("serve_dispatch_error", error=f"{type(exc).__name__}: {exc}")
+            conn.send(proto.error_frame("bad_request", f"internal dispatch error: {exc}",
+                                        tag=_tag(request)))
+
+    def _dispatch(self, conn: _Conn, request: dict) -> None:
+        op = request["op"]
+        if op == "ping":
+            conn.send({"type": "pong", "schema": proto.PROTOCOL_SCHEMA,
+                       "server_id": self.server_id, "tag": _tag(request)})
+        elif op == "stats":
+            conn.send({**self._stats_frame(), "tag": _tag(request)})
+        elif op == "submit":
+            self._handle_submit(conn, request)
+        elif op == "status":
+            self._handle_status(conn, request["job"], tag=_tag(request))
+        elif op == "wait":
+            self._handle_wait(conn, request["job"], tag=_tag(request))
+        elif op == "cancel":
+            self._handle_cancel(conn, request["job"], tag=_tag(request))
+        elif op == "shutdown":
+            conn.send({"type": "shutting_down", "schema": proto.PROTOCOL_SCHEMA,
+                       "server_id": self.server_id, "tag": _tag(request)})
+            threading.Thread(target=self.shutdown, name="serve-shutdown",
+                             daemon=True).start()
+        else:  # pragma: no cover - parse_request already rejected it
+            raise proto.RequestError("unknown_op", f"unhandled op {op!r}")
+
+    # -- submit path -------------------------------------------------------
+
+    def _chaos_for(self, algorithm: str, dataset: str) -> set[str]:
+        """Serve-level chaos modes triggered for this job's cell."""
+        return {
+            spec.mode
+            for spec in self._chaos
+            if spec.mode in SERVE_CHAOS_MODES and spec.triggers(algorithm, dataset)
+        }
+
+    def _handle_submit(self, conn: _Conn, frame: dict) -> None:
+        t0 = time.perf_counter()
+        submit = proto.parse_submit(frame)
+        chaos = self._chaos_for(submit.algorithm, submit.dataset)
+        if "slow_client" in chaos:
+            # A stalled/byte-dribbling client ties up its own handler
+            # thread; everyone else's decision latency must not care.
+            time.sleep(float(os.environ.get(SLOW_CLIENT_ENV) or 0.25))
+        with self._lock:
+            shutting_down = self._shutting_down
+        if shutting_down:
+            conn.send(proto.error_frame("shutting_down", "server is draining",
+                                        tag=submit.tag))
+            return
+        try:
+            get_algorithm(submit.algorithm)
+        except KeyError:
+            raise proto.RequestError(
+                "bad_request", f"unknown algorithm {submit.algorithm!r}") from None
+        try:
+            get_spec(submit.dataset)
+        except KeyError:
+            raise proto.RequestError(
+                "bad_request", f"unknown dataset {submit.dataset!r}") from None
+
+        blocks = submit.blocks if submit.blocks is not None else self.default_blocks
+        cost = estimate_cost(submit.algorithm, submit.dataset, blocks)
+        with self._lock:
+            queued_cost = self._queued_cost
+        decision = self.admission.decide(
+            client=submit.client or conn.peer,
+            cost=cost,
+            queue_depth=self.scheduler.queue_depth(),
+            queued_cost=queued_cost,
+            workers=self.workers,
+        )
+        if not decision.admitted:
+            self.counters.inc(f"rejected_{decision.code}")
+            self.counters.inc("rejected")
+            get_tracer().info(
+                "serve_reject", code=decision.code, algorithm=submit.algorithm,
+                dataset=submit.dataset, retry_after_s=decision.retry_after_s,
+            )
+            conn.send(proto.rejected_frame(
+                decision.code, decision.message, decision.retry_after_s,
+                tag=submit.tag, cost=round(cost, 1),
+            ))
+            return
+
+        deadline_s = submit.deadline_s if submit.deadline_s is not None \
+            else self.default_deadline_s
+        with self._lock:
+            self._job_seq += 1
+            job_id = f"{self.server_id}-{self._job_seq:06d}"
+        request_doc = {
+            "algorithm": submit.algorithm, "dataset": submit.dataset,
+            "blocks": blocks, "priority": submit.priority,
+            "deadline_s": deadline_s, "ordering": submit.ordering,
+            "engine": submit.engine, "validate": submit.validate,
+            "client": submit.client, "tag": submit.tag,
+        }
+        state = _JobState(
+            job_id=job_id, request=request_doc, cost=cost,
+            shed_level=decision.shed_level, accepted_at=time.monotonic(),
+        )
+        if submit.stream:
+            state.stream_subs.append(conn)
+        state.result_subs.append(conn)
+        with self._lock:
+            self._jobs[job_id] = state
+            self._queued_cost += cost
+        # Journal BEFORE answering: a client-held acceptance receipt must
+        # imply a journal entry, or exactly-once is unverifiable.
+        self.journal.accepted(
+            job_id, request_doc, client=submit.client, shed_level=decision.shed_level
+        )
+        self.counters.inc("accepted")
+        if decision.shed_level > 0:
+            self.counters.inc("shed_jobs")
+            self.counters.gauge("last_shed_level", decision.shed_level)
+        if "conn_drop" in chaos:
+            # Chaos: the wire dies right after acceptance was journaled.
+            # The client sees EOF; the job still runs to a terminal state.
+            self.counters.inc("chaos_conn_drops")
+            conn.close()
+        else:
+            conn.send(proto.accepted_frame(
+                job_id, tag=submit.tag, cost=round(cost, 1),
+                shed_level=decision.shed_level,
+                queue_depth=self.scheduler.queue_depth(),
+                decision_ms=round((time.perf_counter() - t0) * 1e3, 3),
+            ))
+        self._submit_to_scheduler(state, remaining_s=deadline_s)
+
+    def _submit_to_scheduler(self, state: _JobState, *, remaining_s: float | None) -> None:
+        request = state.request
+        job = CellJob(
+            algorithm=request["algorithm"],
+            dataset=request["dataset"],
+            job_id=state.job_id,
+            priority=int(request.get("priority") or 0),
+            deadline=None if remaining_s is None else time.monotonic() + remaining_s,
+            shed_level=state.shed_level,
+            client=str(request.get("client") or ""),
+            overrides={
+                "blocks": request.get("blocks"),
+                "ordering": request.get("ordering") or "degree",
+                "engine": request.get("engine"),
+                "validate": bool(request.get("validate")),
+            },
+        )
+        state.handle = self.scheduler.submit(job, on_done=self._on_job_done)
+        self._update_gauges()
+
+    # -- completion & streaming --------------------------------------------
+
+    def _on_scheduler_event(self, name: str, job: CellJob, payload: dict) -> None:
+        """Fan a scheduler lifecycle event out to the job's stream subscribers."""
+        if name == "job_worker_restart":
+            self.counters.inc("worker_restarts")
+        elif name == "job_circuit_open":
+            self.counters.inc("circuit_opens")
+        event = {
+            "schema": TELEMETRY_SCHEMA, "ts": time.time(), "event": "log",
+            "name": name, "job": job.job_id, **payload,
+        }
+        with self._lock:
+            state = self._jobs.get(job.job_id)
+            subs = list(state.stream_subs) if state is not None else []
+        for conn in subs:
+            conn.send(proto.event_frame(job.job_id, event))
+        self._update_gauges()
+
+    def _on_job_done(self, handle: JobHandle) -> None:
+        record = handle.record
+        assert record is not None
+        self._record_terminal(handle.job.job_id, record)
+
+    def _record_terminal(self, job_id: str, record: RunRecord, *, replay: bool = False) -> None:
+        rec_dict = record_to_dict(record)
+        # Journal BEFORE delivering: the result a client sees must already
+        # be durable, or a crash between the two loses it.
+        self.journal.terminal(job_id, record.status, rec_dict)
+        expired = "DeadlineExpired" in (record.error or "")
+        with self._lock:
+            state = self._jobs.get(job_id)
+            if state is not None:
+                self._queued_cost = max(0.0, self._queued_cost - state.cost)
+                state.terminal = rec_dict
+                state.terminal_status = record.status
+                result_subs = list(state.result_subs)
+                state.result_subs.clear()
+                state.stream_subs.clear()
+                duration = time.monotonic() - state.accepted_at
+            else:  # replay-expired job with no live state
+                result_subs = []
+                duration = None
+        self.counters.inc(f"jobs_{record.status}")
+        if expired:
+            self.counters.inc("deadline_expired")
+        if duration is not None and record.status in ("ok", "degraded"):
+            self.admission.observe_completion(duration)
+        for conn in result_subs:
+            conn.send(self._terminal_frame(job_id, record.status, rec_dict))
+        self._update_gauges()
+
+    def _terminal_frame(self, job_id: str, status: str, rec_dict: dict, *, tag: str = "") -> dict:
+        if "DeadlineExpired" in (rec_dict.get("error") or ""):
+            return proto.error_frame(
+                "deadline_expired", rec_dict.get("error") or "deadline expired",
+                job=job_id, record=rec_dict, tag=tag,
+            )
+        return proto.result_frame(
+            job_id, rec_dict, status=status,
+            shed_level=rec_dict.get("extra", {}).get("shed_level", 0), tag=tag,
+        )
+
+    # -- small ops ---------------------------------------------------------
+
+    def _lookup(self, job_id: str) -> _JobState | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def _handle_status(self, conn: _Conn, job_id: str, *, tag: str) -> None:
+        state = self._lookup(job_id)
+        if state is None:
+            # Not live — it may be terminal from a previous process life.
+            _, terminals = self.journal.load()
+            lines = terminals.get(job_id)
+            if lines:
+                entry = lines[-1]
+                conn.send({"type": "status", "schema": proto.PROTOCOL_SCHEMA,
+                           "job": job_id, "state": "done",
+                           "status": entry.get("status"),
+                           "record": entry.get("record"), "tag": tag})
+                return
+            raise proto.RequestError("unknown_job", f"unknown job {job_id!r}")
+        handle = state.handle
+        conn.send({
+            "type": "status", "schema": proto.PROTOCOL_SCHEMA, "job": job_id,
+            "state": handle.state if handle is not None else "queued",
+            "status": state.terminal_status,
+            "record": state.terminal, "tag": tag,
+        })
+
+    def _handle_wait(self, conn: _Conn, job_id: str, *, tag: str) -> None:
+        state = self._lookup(job_id)
+        if state is None:
+            _, terminals = self.journal.load()
+            lines = terminals.get(job_id)
+            if lines:
+                entry = lines[-1]
+                conn.send(self._terminal_frame(
+                    job_id, entry.get("status", ""), entry.get("record") or {}, tag=tag
+                ))
+                return
+            raise proto.RequestError("unknown_job", f"unknown job {job_id!r}")
+        with self._lock:
+            if state.terminal is not None:
+                terminal, status = state.terminal, state.terminal_status
+            else:
+                terminal = None
+                state.result_subs.append(conn)
+        if terminal is not None:
+            conn.send(self._terminal_frame(job_id, status, terminal, tag=tag))
+
+    def _handle_cancel(self, conn: _Conn, job_id: str, *, tag: str) -> None:
+        state = self._lookup(job_id)
+        if state is None or state.handle is None:
+            raise proto.RequestError("unknown_job", f"unknown job {job_id!r}")
+        ok = state.handle.cancel()
+        if ok:
+            self.counters.inc("cancelled")
+        conn.send({"type": "cancelled", "schema": proto.PROTOCOL_SCHEMA,
+                   "job": job_id, "ok": ok, "tag": tag})
+
+    def _stats_frame(self) -> dict:
+        sched = self.scheduler.stats()
+        with self._lock:
+            queued_cost = self._queued_cost
+            live_jobs = len(self._jobs)
+        return {
+            "type": "stats", "schema": proto.PROTOCOL_SCHEMA,
+            "server_id": self.server_id,
+            "scheduler": sched,
+            "queued_cost": round(queued_cost, 1),
+            "live_jobs": live_jobs,
+            "service_time_s": round(self.admission.service_time_s(), 4),
+            **self.counters.snapshot(),
+        }
+
+    def _update_gauges(self) -> None:
+        self.counters.gauge("queue_depth", self.scheduler.queue_depth())
+        with self._lock:
+            self.counters.gauge("queued_cost", round(self._queued_cost, 1))
+
+
+def _tag(frame: dict) -> str:
+    tag = frame.get("tag", "")
+    return tag if isinstance(tag, str) else ""

@@ -306,13 +306,42 @@ class TestDegradingRetries:
         assert policy.next_blocks(16) == 8
         assert policy.next_blocks(3) == 2  # floor at min_blocks
         assert policy.next_blocks(None) == 16  # unlimited degrades to default
-        assert policy.backoff_s(1) == pytest.approx(policy.backoff_base_s * 2)
+        # jitter=0 restores the exact legacy exponential schedule
+        exact = RetryPolicy(cell_timeout_s=1.0, jitter=0.0)
+        assert exact.backoff_s(1) == pytest.approx(exact.backoff_base_s * 2)
+
+    def test_backoff_jitter_bounded_seeded_and_decorrelated(self):
+        """Regression pin for the retry-stampede fix: backoffs are jittered.
+
+        The jittered sleep must stay within ``±jitter`` of the exponential
+        base value, be *identical* across calls for the same (seed, cell,
+        attempt) — a resumed chaos run sleeps the same schedule — and
+        *differ* across cells so simultaneous timeouts don't retry in
+        lockstep.
+        """
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0, jitter=0.25)
+        for attempt in range(4):
+            base = 0.1 * 2.0**attempt
+            got = policy.backoff_s(attempt, key="Polak/As-Caida")
+            assert base * 0.75 <= got <= base * 1.25
+            # deterministic: same cell, same attempt, same sleep
+            assert got == policy.backoff_s(attempt, key="Polak/As-Caida")
+        # decorrelated: different cells draw different jitter
+        sleeps = {policy.backoff_s(2, key=f"Alg{i}/DS{i}") for i in range(8)}
+        assert len(sleeps) > 1
+        # a different seed re-rolls the whole schedule
+        reseeded = RetryPolicy(backoff_base_s=0.1, jitter=0.25, jitter_seed=7)
+        assert reseeded.backoff_s(2, key="Polak/As-Caida") != policy.backoff_s(
+            2, key="Polak/As-Caida"
+        )
 
     def test_policy_validation(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(degrade_factor=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
 
 
 class TestResume:

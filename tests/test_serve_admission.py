@@ -1,0 +1,166 @@
+"""Admission control: cost estimates, watermarks, quotas, retry hints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.runner import DEFAULT_MAX_BLOCKS
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+    estimate_cost,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestEstimateCost:
+    def test_scales_with_blocks(self):
+        small = estimate_cost("Polak", "As-Caida", 4)
+        big = estimate_cost("Polak", "As-Caida", 16)
+        assert big == pytest.approx(small * 4)
+
+    def test_unlimited_blocks_cost_capped(self):
+        full = estimate_cost("Polak", "As-Caida", None)
+        capped = estimate_cost("Polak", "As-Caida", DEFAULT_MAX_BLOCKS * 100)
+        assert full == capped  # both hit the 4x fraction cap
+
+    def test_algorithm_weights_discriminate(self):
+        light = estimate_cost("GroupTC", "As-Caida", 16)
+        heavy = estimate_cost("H-INDEX", "As-Caida", 16)
+        assert heavy > light
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            estimate_cost("Polak", "No-Such-Dataset", 16)
+
+    def test_unknown_algorithm_uses_default_weight(self):
+        assert estimate_cost("Mystery", "As-Caida", 16) == pytest.approx(
+            estimate_cost("Polak", "As-Caida", 16)
+        )
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+        assert bucket.take(0.0) == (True, 0.0)
+        assert bucket.take(0.0) == (True, 0.0)
+        ok, wait = bucket.take(0.0)
+        assert not ok
+        assert wait == pytest.approx(1.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+        bucket.take(0.0)
+        bucket.take(0.0)
+        assert bucket.take(0.5)[0] is True  # 0.5s * 2/s = 1 token back
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0, now=0.0)
+        bucket.take(1000.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+
+class TestShedLadder:
+    def test_monotonic_between_watermarks(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(max_queue_depth=40, soft_queue_depth=10, max_shed_level=3)
+        )
+        levels = [ctrl.shed_level_for(d) for d in range(0, 41)]
+        assert levels[:11] == [0] * 11            # at/below soft: no shed
+        assert all(a <= b for a, b in zip(levels, levels[1:]))
+        assert max(levels) == 3
+        assert levels[40] == 3                    # hard watermark: deepest
+
+    def test_disabled_ladder(self):
+        ctrl = AdmissionController(AdmissionPolicy(max_shed_level=0))
+        assert ctrl.shed_level_for(10_000) == 0
+
+
+class TestDecide:
+    def _controller(self, clock=None, **policy):
+        defaults = dict(max_queue_depth=8, soft_queue_depth=2,
+                        quota_rate=100.0, quota_burst=100.0)
+        defaults.update(policy)
+        return AdmissionController(
+            AdmissionPolicy(**defaults), clock=clock or FakeClock()
+        )
+
+    def test_admits_under_soft_watermark(self):
+        d = self._controller().decide(client="c", cost=10.0, queue_depth=1,
+                                      queued_cost=0.0)
+        assert d.admitted and d.shed_level == 0
+
+    def test_sheds_between_watermarks(self):
+        d = self._controller().decide(client="c", cost=10.0, queue_depth=5,
+                                      queued_cost=0.0)
+        assert d.admitted and d.shed_level > 0
+
+    def test_rejects_at_hard_watermark_with_retry_after(self):
+        d = self._controller().decide(client="c", cost=10.0, queue_depth=8,
+                                      queued_cost=0.0)
+        assert not d.admitted
+        assert d.code == "overloaded"
+        assert d.retry_after_s > 0
+
+    def test_retry_after_scales_with_overflow_and_workers(self):
+        ctrl = self._controller()
+        ctrl.observe_completion(1.0)  # pin service time at 1s
+        shallow = ctrl.decide(client="c", cost=1.0, queue_depth=8,
+                              queued_cost=0.0, workers=1)
+        deep = ctrl.decide(client="c", cost=1.0, queue_depth=16,
+                           queued_cost=0.0, workers=1)
+        wide = ctrl.decide(client="c", cost=1.0, queue_depth=16,
+                           queued_cost=0.0, workers=4)
+        assert deep.retry_after_s > shallow.retry_after_s
+        assert wide.retry_after_s < deep.retry_after_s
+
+    def test_aggregate_cost_ceiling(self):
+        ctrl = self._controller(max_queued_cost=100.0)
+        d = ctrl.decide(client="c", cost=60.0, queue_depth=0, queued_cost=50.0)
+        assert not d.admitted and d.code == "overloaded"
+
+    def test_per_job_cost_ceiling_has_no_retry_hint(self):
+        ctrl = self._controller(max_job_cost=10.0)
+        d = ctrl.decide(client="c", cost=11.0, queue_depth=0, queued_cost=0.0)
+        assert not d.admitted
+        assert d.retry_after_s == 0.0  # retrying the same job cannot help
+
+    def test_quota_exhaustion_and_refill(self):
+        clock = FakeClock()
+        ctrl = self._controller(clock=clock, quota_rate=1.0, quota_burst=2.0)
+        kw = dict(cost=1.0, queue_depth=0, queued_cost=0.0)
+        assert ctrl.decide(client="greedy", **kw).admitted
+        assert ctrl.decide(client="greedy", **kw).admitted
+        d = ctrl.decide(client="greedy", **kw)
+        assert not d.admitted and d.code == "quota_exceeded"
+        assert d.retry_after_s == pytest.approx(1.0)
+        # other clients have their own bucket
+        assert ctrl.decide(client="patient", **kw).admitted
+        clock.advance(1.5)
+        assert ctrl.decide(client="greedy", **kw).admitted
+
+    def test_observe_completion_ewma(self):
+        ctrl = self._controller()
+        ctrl.observe_completion(2.0)
+        assert ctrl.service_time_s() == pytest.approx(2.0)  # first sample snaps
+        ctrl.observe_completion(4.0)
+        assert 2.0 < ctrl.service_time_s() < 4.0            # then smooths
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(soft_queue_depth=10, max_queue_depth=5)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_shed_level=-1)
