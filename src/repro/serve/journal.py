@@ -61,11 +61,17 @@ class JobJournal:
             os.fsync(fh.fileno())
 
     def accepted(self, job_id: str, request: dict, *, client: str = "",
-                 shed_level: int = 0) -> None:
-        """Journal an acceptance (call *before* answering the client)."""
+                 shed_level: int = 0, cost: float = 0.0) -> None:
+        """Journal an acceptance (call *before* answering the client).
+
+        ``cost`` is the admission controller's predicted-work estimate;
+        persisting it lets restart replay rebuild the aggregate
+        queued-cost ceiling instead of under-counting replayed jobs as 0.
+        """
         self._append({
             "kind": "accepted", "job": job_id, "ts": time.time(),
-            "client": client, "shed_level": shed_level, "request": request,
+            "client": client, "shed_level": shed_level, "cost": cost,
+            "request": request,
         })
 
     def terminal(self, job_id: str, status: str, record: dict) -> None:

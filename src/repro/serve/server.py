@@ -35,13 +35,13 @@ Failure semantics (the contract the README table documents):
 
 from __future__ import annotations
 
-import dataclasses
 import os
 import queue
 import socket
 import threading
 import time
 import uuid
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 from ..algorithms.base import get_algorithm
@@ -147,7 +147,9 @@ class _JobState:
     terminal_status: str = ""
     #: connections streaming progress events for this job.
     stream_subs: list = field(default_factory=list)
-    #: connections awaiting the terminal result frame.
+    #: ``(conn, tag)`` pairs awaiting the terminal result frame — the tag
+    #: is echoed into the frame so clients can route it to the request
+    #: (submit or wait) that subscribed.
     result_subs: list = field(default_factory=list)
 
 
@@ -170,6 +172,8 @@ class TriangleServer:
         engine: str | None = None,
         validate: bool = False,
         drain_timeout_s: float = 30.0,
+        terminal_ttl_s: float = 900.0,
+        max_terminal_jobs: int = 1024,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("pass exactly one of socket_path or port")
@@ -181,12 +185,23 @@ class TriangleServer:
         self.default_deadline_s = default_deadline_s
         self.default_blocks = default_blocks
         self.drain_timeout_s = drain_timeout_s
+        #: how long (and how many) terminal job states stay queryable in
+        #: memory before eviction — the journal remains the durable
+        #: fallback, so eviction bounds memory without losing results.
+        self.terminal_ttl_s = terminal_ttl_s
+        self.max_terminal_jobs = max_terminal_jobs
         self.counters = CounterSet()
         self.admission = AdmissionController(admission)
         self.journal = JobJournal(self.server_id)
         self._chaos = chaos_from_env()
         self._lock = threading.Lock()
         self._jobs: dict[str, _JobState] = {}
+        #: terminal job ids in completion order, for TTL/count eviction.
+        self._terminal_order: deque[tuple[str, float]] = deque()
+        #: bounded LRU of terminal journal entries (id -> entry or None),
+        #: so status/wait on evicted/unknown ids does not re-parse the
+        #: whole journal file per call.
+        self._terminal_cache: OrderedDict[str, dict | None] = OrderedDict()
         self._queued_cost = 0.0
         self._conns: set[_Conn] = set()
         self._listener: socket.socket | None = None
@@ -268,8 +283,9 @@ class TriangleServer:
             for state in self._jobs.values():
                 if conn in state.stream_subs:
                     state.stream_subs.remove(conn)
-                if conn in state.result_subs:
-                    state.result_subs.remove(conn)
+                state.result_subs[:] = [
+                    (c, tag) for c, tag in state.result_subs if c is not conn
+                ]
 
     # -- journal replay ----------------------------------------------------
 
@@ -294,8 +310,20 @@ class TriangleServer:
                     record = self._expired_record(request, job_id)
                     self._record_terminal(job_id, record, replay=True)
                     continue
+            cost = float(entry.get("cost") or 0.0)
+            if not cost:
+                # Pre-cost journal entry: recompute so the queued-cost
+                # admission ceiling does not under-count after restart.
+                try:
+                    cost = estimate_cost(
+                        str(request.get("algorithm", "")),
+                        str(request.get("dataset", "")),
+                        request.get("blocks"),
+                    )
+                except KeyError:
+                    cost = 0.0
             state = _JobState(
-                job_id=job_id, request=request, cost=float(entry.get("cost", 0.0)),
+                job_id=job_id, request=request, cost=cost,
                 shed_level=int(entry.get("shed_level", 0)),
                 accepted_at=time.monotonic(),
             )
@@ -324,11 +352,19 @@ class TriangleServer:
             peer = f"{addr}" if addr else "unix"
             conn = _Conn(sock, peer, self)
             with self._lock:
-                if self._shutting_down:
-                    conn.send(proto.error_frame("shutting_down", "server is draining"))
-                    conn.close()
-                    continue
-                self._conns.add(conn)
+                shutting_down = self._shutting_down
+                if not shutting_down:
+                    self._conns.add(conn)
+            if shutting_down:
+                # send/close strictly OUTSIDE the lock: close() calls
+                # _forget_conn() which re-acquires it (non-reentrant), and
+                # send() can reach close() via a full outbound queue — a
+                # self-deadlock that would wedge the accept thread while
+                # holding the global lock.
+                conn.send(proto.error_frame("shutting_down", "server is draining"))
+                time.sleep(0.01)  # let the writer flush the refusal
+                conn.close()
+                continue
             threading.Thread(
                 target=self._read_loop, args=(conn,),
                 name=f"serve-r-{peer}", daemon=True,
@@ -486,14 +522,15 @@ class TriangleServer:
         )
         if submit.stream:
             state.stream_subs.append(conn)
-        state.result_subs.append(conn)
+        state.result_subs.append((conn, submit.tag))
         with self._lock:
             self._jobs[job_id] = state
             self._queued_cost += cost
         # Journal BEFORE answering: a client-held acceptance receipt must
         # imply a journal entry, or exactly-once is unverifiable.
         self.journal.accepted(
-            job_id, request_doc, client=submit.client, shed_level=decision.shed_level
+            job_id, request_doc, client=submit.client,
+            shed_level=decision.shed_level, cost=cost,
         )
         self.counters.inc("accepted")
         if decision.shed_level > 0:
@@ -530,7 +567,22 @@ class TriangleServer:
                 "validate": bool(request.get("validate")),
             },
         )
-        state.handle = self.scheduler.submit(job, on_done=self._on_job_done)
+        try:
+            state.handle = self.scheduler.submit(job, on_done=self._on_job_done)
+        except RuntimeError:
+            # Shutdown closed the scheduler between journaling this job as
+            # accepted and queuing it.  The client holds an acceptance
+            # receipt, so the job must still reach exactly one terminal
+            # state in this process life — not wait for a reboot replay.
+            self.counters.inc("shutdown_race_failures")
+            self._record_terminal(state.job_id, RunRecord(
+                algorithm=request["algorithm"], dataset=request["dataset"],
+                device="", status="failed",
+                error="ShuttingDown: server began draining before the job "
+                      "could be queued; resubmit elsewhere",
+                extra={"shutting_down": True},
+            ))
+            return
         self._update_gauges()
 
     # -- completion & streaming --------------------------------------------
@@ -573,17 +625,73 @@ class TriangleServer:
                 state.result_subs.clear()
                 state.stream_subs.clear()
                 duration = time.monotonic() - state.accepted_at
+                self._terminal_order.append((job_id, time.monotonic()))
             else:  # replay-expired job with no live state
                 result_subs = []
                 duration = None
+            self._cache_terminal_locked(
+                job_id, {"status": record.status, "record": rec_dict}
+            )
+            self._evict_terminals_locked()
         self.counters.inc(f"jobs_{record.status}")
         if expired:
             self.counters.inc("deadline_expired")
         if duration is not None and record.status in ("ok", "degraded"):
             self.admission.observe_completion(duration)
-        for conn in result_subs:
-            conn.send(self._terminal_frame(job_id, record.status, rec_dict))
+        for conn, tag in result_subs:
+            conn.send(self._terminal_frame(job_id, record.status, rec_dict, tag=tag))
         self._update_gauges()
+
+    def _cache_terminal_locked(self, job_id: str, entry: dict | None) -> None:
+        """LRU-insert one terminal lookup result (``None`` = known-absent).
+
+        Negative entries cannot go stale: any job that later terminals in
+        this process overwrites them here, and live jobs are found in
+        ``_jobs`` before this cache is ever consulted.
+        """
+        cache = self._terminal_cache
+        cache[job_id] = entry
+        cache.move_to_end(job_id)
+        limit = max(self.max_terminal_jobs, 64)
+        while len(cache) > limit:
+            cache.popitem(last=False)
+
+    def _evict_terminals_locked(self) -> None:
+        """Drop terminal job states past the TTL/count retention bounds.
+
+        The journal (via :meth:`_journal_terminal`) keeps evicted results
+        queryable, so this bounds daemon memory without losing anything.
+        """
+        now = time.monotonic()
+        order = self._terminal_order
+        while order and (
+            len(order) > self.max_terminal_jobs
+            or now - order[0][1] > self.terminal_ttl_s
+        ):
+            job_id, _ = order.popleft()
+            state = self._jobs.get(job_id)
+            if state is not None and state.terminal is not None:
+                del self._jobs[job_id]
+
+    def _journal_terminal(self, job_id: str) -> dict | None:
+        """Terminal outcome for a job with no live state, cache-first.
+
+        Falls back to parsing the journal file (a previous process life,
+        or a state evicted past retention) and caches what it finds.
+        """
+        with self._lock:
+            if job_id in self._terminal_cache:
+                self._terminal_cache.move_to_end(job_id)
+                return self._terminal_cache[job_id]
+        _, terminals = self.journal.load()
+        lines = terminals.get(job_id)
+        entry = None
+        if lines:
+            entry = {"status": lines[-1].get("status", ""),
+                     "record": lines[-1].get("record") or {}}
+        with self._lock:
+            self._cache_terminal_locked(job_id, entry)
+        return entry
 
     def _terminal_frame(self, job_id: str, status: str, rec_dict: dict, *, tag: str = "") -> dict:
         if "DeadlineExpired" in (rec_dict.get("error") or ""):
@@ -605,11 +713,10 @@ class TriangleServer:
     def _handle_status(self, conn: _Conn, job_id: str, *, tag: str) -> None:
         state = self._lookup(job_id)
         if state is None:
-            # Not live — it may be terminal from a previous process life.
-            _, terminals = self.journal.load()
-            lines = terminals.get(job_id)
-            if lines:
-                entry = lines[-1]
+            # Not live — terminal from a previous process life, or evicted
+            # past the in-memory retention bounds.
+            entry = self._journal_terminal(job_id)
+            if entry is not None:
                 conn.send({"type": "status", "schema": proto.PROTOCOL_SCHEMA,
                            "job": job_id, "state": "done",
                            "status": entry.get("status"),
@@ -627,10 +734,8 @@ class TriangleServer:
     def _handle_wait(self, conn: _Conn, job_id: str, *, tag: str) -> None:
         state = self._lookup(job_id)
         if state is None:
-            _, terminals = self.journal.load()
-            lines = terminals.get(job_id)
-            if lines:
-                entry = lines[-1]
+            entry = self._journal_terminal(job_id)
+            if entry is not None:
                 conn.send(self._terminal_frame(
                     job_id, entry.get("status", ""), entry.get("record") or {}, tag=tag
                 ))
@@ -640,8 +745,11 @@ class TriangleServer:
             if state.terminal is not None:
                 terminal, status = state.terminal, state.terminal_status
             else:
+                # Subscribe WITH the request tag: the terminal frame must
+                # answer this wait request, not arrive untagged (clients
+                # route responses by tag and would otherwise time out).
                 terminal = None
-                state.result_subs.append(conn)
+                state.result_subs.append((conn, tag))
         if terminal is not None:
             conn.send(self._terminal_frame(job_id, status, terminal, tag=tag))
 

@@ -99,6 +99,8 @@ class TestHappyPath:
         accepted, terminals = server.journal.load()
         assert set(accepted) == {receipt.job_id}
         assert [len(v) for v in terminals.values()] == [1]
+        # acceptance persists the admission cost estimate for replay
+        assert accepted[receipt.job_id]["cost"] > 0
 
     def test_status_and_wait_ops(self, server_factory):
         server = server_factory()
@@ -113,6 +115,29 @@ class TestHappyPath:
             # a *different* connection can recover the result by job id
             with ServeClient(port=server.port) as other:
                 assert other.wait(receipt.job_id)["record"]["status"] == "ok"
+
+    def test_wait_on_running_job_blocks_until_terminal(self, server_factory):
+        # Regression: wait on a NOT-yet-terminal job must deliver the
+        # terminal frame tagged with the wait request's tag — an untagged
+        # frame is unroutable client-side and wait() would time out.
+        server = server_factory(workers=1)
+        with ServeClient(port=server.port, client_id="submitter") as submitter:
+            blocker = submitter.submit(ALG, DS, blocks=16, stream=False)
+            target = submitter.submit(ALG, DS, blocks=16, stream=False)
+            assert blocker.accepted and target.accepted
+            # workers=1: target cannot start until blocker completes, so
+            # this wait from a different connection registers pre-terminal.
+            with ServeClient(port=server.port, client_id="waiter",
+                             timeout=120.0) as other:
+                frame = other.wait(target.job_id)
+            assert frame["type"] == "result"
+            assert frame["record"]["status"] == "ok"
+            assert frame.get("tag"), "terminal frame for wait must be tagged"
+            # the submitter's own receipt still completes independently
+            assert blocker.result(timeout=120.0)["record"]["status"] == "ok"
+            assert target.result(timeout=120.0)["record"]["status"] == "ok"
+        _, terminals = server.journal.load()
+        assert all(len(v) == 1 for v in terminals.values())
 
     def test_cancel_queued_job(self, server_factory):
         server = server_factory(workers=1)
@@ -373,6 +398,100 @@ class TestLifecycle:
         _, terminals = server.journal.load()
         assert terminals["replay-live-000001"][0]["status"] == "ok"
 
+    def test_connect_during_drain_is_refused_without_wedging(self, server_factory):
+        # Regression: the accept loop used to send+close the refused
+        # connection while holding the global lock; close() re-acquires
+        # the same lock via _forget_conn(), self-deadlocking the accept
+        # thread and wedging every later lock acquisition.
+        import socket as _socket
+
+        server = server_factory()
+        with server._lock:
+            server._shutting_down = True
+        try:
+            with _socket.create_connection(("127.0.0.1", server.port),
+                                           timeout=10) as sock:
+                sock.settimeout(10)
+                data = b""
+                try:
+                    while b"\n" not in data:
+                        part = sock.recv(65536)
+                        if not part:
+                            break
+                        data += part
+                except OSError:
+                    pass
+            # the refusal is typed when it wins the race with the close
+            assert not data or b"shutting_down" in data
+            # the accept thread must not be stuck holding the server lock
+            acquired = server._lock.acquire(timeout=5)
+            assert acquired, "accept thread deadlocked holding the server lock"
+            server._lock.release()
+            # and a second connect is also handled promptly
+            with _socket.create_connection(("127.0.0.1", server.port),
+                                           timeout=10) as sock:
+                sock.settimeout(10)
+                try:
+                    sock.recv(65536)
+                except OSError:
+                    pass
+        finally:
+            with server._lock:
+                server._shutting_down = False  # let teardown shut down fully
+
+    def test_submit_racing_scheduler_shutdown_still_terminals(
+            self, server_factory, monkeypatch):
+        # Regression: shutdown closing the scheduler AFTER a job was
+        # journaled as accepted must yield a terminal failed record, not
+        # an acceptance receipt that never resolves in this process life.
+        server = server_factory()
+
+        def closed_submit(job, on_done=None):
+            raise RuntimeError("scheduler is shut down")
+
+        monkeypatch.setattr(server.scheduler, "submit", closed_submit)
+        with ServeClient(port=server.port) as client:
+            receipt = client.submit(ALG, DS, blocks=2, stream=False)
+            assert receipt.accepted
+            terminal = receipt.result(timeout=30.0)
+        assert terminal["record"]["status"] == "failed"
+        assert "ShuttingDown" in terminal["record"]["error"]
+        assert terminal["record"]["extra"]["shutting_down"] is True
+        assert server.counters.get("shutdown_race_failures") == 1
+        accepted, terminals = server.journal.load()
+        assert set(accepted) == set(terminals) == {receipt.job_id}
+        assert len(terminals[receipt.job_id]) == 1
+
+    def test_replay_restores_queued_cost_from_journal(self, tmp_cache, monkeypatch):
+        # Regression: replayed jobs used to re-enter with cost 0, letting
+        # the aggregate queued-cost ceiling under-count after a restart.
+        from repro.framework.scheduler import JobHandle
+
+        request = {
+            "algorithm": ALG, "dataset": DS, "blocks": 2, "priority": 0,
+            "deadline_s": None, "ordering": "degree", "engine": None,
+            "validate": False, "client": "ghost", "tag": "",
+        }
+        journal = JobJournal("replay-cost")
+        journal.accepted("replay-cost-000001", request, cost=7.5)
+        # pre-cost journal entry (older daemon): cost is recomputed
+        journal._append({
+            "kind": "accepted", "job": "replay-cost-000002",
+            "ts": time.time(), "client": "ghost", "shed_level": 0,
+            "request": request,
+        })
+        server = TriangleServer(port=0, server_id="replay-cost", workers=1)
+        try:
+            monkeypatch.setattr(server.scheduler, "submit",
+                                lambda job, on_done=None: JobHandle(job))
+            server._replay_journal()
+            from repro.serve.admission import estimate_cost
+
+            expected = 7.5 + estimate_cost(ALG, DS, 2)
+            assert server._queued_cost == pytest.approx(expected)
+        finally:
+            server.scheduler.shutdown(wait=False)
+
     def test_replay_of_expired_job_terminals_without_running(self, server_factory):
         journal = JobJournal("replay-dead")
         journal.accepted("replay-dead-000001", {
@@ -388,6 +507,49 @@ class TestLifecycle:
         entry = terminals["replay-dead-000001"][0]
         assert entry["status"] == "failed"
         assert "DeadlineExpired" in entry["record"]["error"]
+
+
+class TestTerminalRetention:
+    """Terminal job states are evicted past the retention bounds — the
+    daemon must not grow memory forever — yet stay queryable through the
+    journal-backed (and cached) fallback."""
+
+    def test_count_eviction_keeps_results_recoverable(self, server_factory):
+        server = server_factory(workers=1, max_terminal_jobs=2)
+        job_ids = []
+        with ServeClient(port=server.port) as client:
+            for _ in range(5):
+                receipt = client.submit(ALG, DS, blocks=2, stream=False)
+                assert receipt.accepted
+                job_ids.append(receipt.job_id)
+                assert receipt.result(timeout=120.0)["record"]["status"] == "ok"
+        with server._lock:
+            live = len(server._jobs)
+        assert live <= 2, f"terminal states not pruned: {live} live job states"
+        # every evicted job is still recoverable by id, via status AND wait
+        with ServeClient(port=server.port) as client:
+            for job_id in job_ids:
+                assert client.wait(job_id)["record"]["status"] == "ok"
+                status = client.status(job_id)
+                assert status["state"] == "done"
+                assert status["record"]["status"] == "ok"
+        # lookups for evicted ids land in the bounded terminal cache, so
+        # repeat probes do not re-parse the journal file each time
+        with server._lock:
+            assert all(j in server._terminal_cache for j in job_ids)
+
+    def test_ttl_eviction(self, server_factory):
+        server = server_factory(workers=1, terminal_ttl_s=0.0)
+        with ServeClient(port=server.port) as client:
+            first = client.submit(ALG, DS, blocks=2, stream=False)
+            assert first.result(timeout=120.0)["record"]["status"] == "ok"
+            second = client.submit(ALG, DS, blocks=2, stream=False)
+            assert second.result(timeout=120.0)["record"]["status"] == "ok"
+            with server._lock:
+                live = len(server._jobs)
+            assert live == 0, "ttl=0 must evict terminal states immediately"
+            assert client.wait(first.job_id)["record"]["status"] == "ok"
+            assert client.wait(second.job_id)["record"]["status"] == "ok"
 
 
 class TestKillDrill:
