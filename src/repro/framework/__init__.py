@@ -13,6 +13,15 @@
 * :mod:`~repro.framework.sweep` — configuration sweeps / ablations.
 """
 
+from .cluster import (
+    ClusterRecord,
+    PartitionRecord,
+    ScaleoutPoint,
+    cluster_to_run_record,
+    run_cluster,
+    run_cluster_matrix,
+    scaleout_curve,
+)
 from .compare import ComparisonMatrix, metric_maximizes, run_matrix
 from .parallel import default_jobs, parallel_starmap, run_cells
 from .resilience import (
@@ -36,7 +45,9 @@ from .scheduler import (
 )
 from .report import (
     matrix_to_csv,
+    render_cluster,
     render_figure_series,
+    render_scaleout,
     render_speedups,
     render_table1,
     render_table2,
@@ -54,16 +65,20 @@ __all__ = [
     "DEFAULT_MAX_BLOCKS",
     "CellJob",
     "ChaosSpec",
+    "ClusterRecord",
     "ComparisonMatrix",
     "JobHandle",
     "JobScheduler",
+    "PartitionRecord",
     "RetryPolicy",
     "RunJournal",
     "RunRecord",
+    "ScaleoutPoint",
     "SupervisionPolicy",
     "SweepPoint",
     "best_config",
     "chaos_from_env",
+    "cluster_to_run_record",
     "default_jobs",
     "matrix_to_csv",
     "metric_maximizes",
@@ -71,16 +86,21 @@ __all__ = [
     "paper_scale_footprint",
     "parallel_starmap",
     "parse_chaos",
+    "render_cluster",
     "render_figure_series",
+    "render_scaleout",
     "render_speedups",
     "render_table1",
     "render_table2",
     "run_cell_resilient",
     "run_cells",
     "run_cells_resilient",
+    "run_cluster",
+    "run_cluster_matrix",
     "run_matrix",
     "run_one",
     "run_one_safe",
+    "scaleout_curve",
     "seeded_jitter",
     "shed_blocks",
     "sweep_config",

@@ -189,6 +189,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome/Perfetto trace-event JSON timeline here",
     )
 
+    cl = sub.add_parser(
+        "cluster",
+        help="simulated multi-GPU scale-out: partition a replica, run each "
+        "partition on its own device instance, report speedup/efficiency",
+    )
+    cl.add_argument("algorithm", help="which implementation")
+    cl.add_argument("dataset", help="Table II dataset name")
+    cl.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulate exactly N devices and print the per-partition "
+        "breakdown (default: sweep the 1/2/4/8/16 efficiency curve)",
+    )
+    cl.add_argument(
+        "--partitioner",
+        default="hash2d",
+        choices=("edge1d", "hash2d"),
+        help="edge1d: contiguous CSR chunks; hash2d: TRUST-style hashed "
+        "2D vertex grid",
+    )
+    cl.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="partitioner hash seed (pins the hashed 2D grid assignment)",
+    )
+    cl.add_argument(
+        "--counts",
+        default=None,
+        metavar="N,N,...",
+        help="device counts for the curve (default 1,2,4,8,16)",
+    )
+
     sv = sub.add_parser(
         "serve",
         help="run the fault-tolerant job service (line-delimited JSON over "
@@ -329,6 +364,34 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _serve(args)
+
+    if args.command == "cluster":
+        from .cluster import DEVICE_COUNTS, run_cluster, scaleout_curve
+        from .report import render_cluster, render_scaleout
+
+        common = dict(
+            partitioner=args.partitioner,
+            seed=args.seed,
+            device=device,
+            ordering=args.ordering,
+            max_blocks_simulated=args.blocks,
+            engine=args.engine,
+            jobs=args.jobs,
+        )
+        if args.devices is not None:
+            record = run_cluster(args.algorithm, args.dataset, devices=args.devices, **common)
+            print(render_cluster(record), end="")
+            return 0 if record.ok else 1
+        counts = tuple(int(v) for v in _split(args.counts) or ()) or DEVICE_COUNTS
+        points = scaleout_curve(
+            args.algorithm, args.dataset, device_counts=counts, **common
+        )
+        title = (
+            f"scale-out of {args.algorithm} on {args.dataset} "
+            f"({args.partitioner}, seed {args.seed})"
+        )
+        print(render_scaleout(points, title=title), end="")
+        return 0 if all(pt.record.ok for pt in points) else 1
 
     resilience_kwargs = dict(
         run_id=args.run_id,

@@ -23,6 +23,8 @@ __all__ = [
     "render_table2",
     "render_figure_series",
     "render_speedups",
+    "render_cluster",
+    "render_scaleout",
     "matrix_to_csv",
 ]
 
@@ -148,6 +150,64 @@ def render_speedups(matrix: ComparisonMatrix, subject: str, baselines: tuple[str
             out.write(f"{cell:>12s}")
         out.write("\n")
     out.write(_status_footnotes(shown))
+    return out.getvalue()
+
+
+def render_cluster(record) -> str:
+    """Per-partition breakdown of one cluster run.
+
+    ``record`` is a :class:`repro.framework.cluster.ClusterRecord`; each
+    row is one simulated device: its share of pivot edges, subgraph size,
+    interconnect traffic, and exchange/compute split.  The makespan row at
+    the bottom is the cluster time the scale-out curves plot.
+    """
+    out = io.StringIO()
+    out.write(
+        f"{record.algorithm} on {record.dataset} — {record.devices} x "
+        f"{record.device} ({record.partitioner}, seed {record.seed})\n"
+    )
+    out.write(
+        f"{'dev':>4s} {'owned':>8s} {'subV':>7s} {'subE':>8s} {'remote':>8s} "
+        f"{'xKiB':>8s} {'peers':>6s} {'xch[us]':>9s} {'sim[us]':>9s} {'total[us]':>10s}\n"
+    )
+    for p in record.partitions:
+        mark = "" if p.status == "ok" else f"  ({p.status})"
+        out.write(
+            f"{p.index:>4d} {p.owned_edges:>8d} {p.subgraph_vertices:>7d} "
+            f"{p.subgraph_edges:>8d} {p.remote_entries:>8d} "
+            f"{p.exchange_bytes / 1024:>8.1f} {p.peers:>6d} "
+            f"{p.exchange_time_s * 1e6:>9.2f} {p.sim_time_s * 1e6:>9.2f} "
+            f"{p.device_time_s * 1e6:>10.2f}{mark}\n"
+        )
+    out.write(
+        f"triangles {record.triangles}  cluster time "
+        f"{(record.cluster_time_s or 0.0) * 1e6:.2f} us  exchange total "
+        f"{record.total_exchange_bytes / 1024:.1f} KiB\n"
+    )
+    return out.getvalue()
+
+
+def render_scaleout(points, *, title: str = "") -> str:
+    """Speedup / parallel-efficiency table over simulated device counts.
+
+    ``points`` is the output of :func:`repro.framework.cluster.scaleout_curve`;
+    this is the textual form of the scale-out figure family (per-algorithm
+    speedup ``t(1)/t(N)`` and efficiency ``speedup/N`` over 1/2/4/8/16
+    devices), with the interconnect traffic that explains the rollover.
+    """
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(
+        f"{'devices':>8s} {'time[ms]':>10s} {'speedup':>8s} "
+        f"{'efficiency':>11s} {'exchange[KiB]':>14s}\n"
+    )
+    for pt in points:
+        out.write(
+            f"{pt.devices:>8d} {pt.cluster_time_s * 1e3:>10.4f} "
+            f"{pt.speedup:>8.2f} {pt.efficiency:>11.2f} "
+            f"{pt.exchange_bytes / 1024:>14.1f}\n"
+        )
     return out.getvalue()
 
 

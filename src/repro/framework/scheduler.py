@@ -364,6 +364,9 @@ class JobScheduler:
             min_blocks=self.policy.min_blocks,
         )
         key = f"{_algorithm_name(job.algorithm)}/{job.dataset}"
+        cluster = over.get("cluster")
+        if cluster:
+            return self._execute_cluster(job, cluster, blocks)
         deaths = 0
         while True:
             policy = self._job_policy(job)
@@ -408,6 +411,45 @@ class JobScheduler:
                 )
             self._emit("job_worker_restart", job, {"deaths": deaths})
             time.sleep(self.supervision.restart_backoff_s(deaths, key=key))
+
+    def _execute_cluster(self, job: CellJob, cluster: dict, blocks: int | None) -> RunRecord:
+        """Fan one job out over simulated cluster devices.
+
+        ``overrides["cluster"]`` carries ``{"devices": N, "partitioner":
+        ..., "seed": ..., "jobs": ...}``; the partition fan-out happens
+        inside :func:`repro.framework.cluster.run_cluster`, sharing the
+        scheduler's shed-block budget and per-job engine/ordering
+        overrides.  Cluster cells run in-process (the partition workers
+        are the supervised processes), so any setup error is captured
+        here rather than looping the worker-death supervisor.
+        """
+        from .cluster import cluster_to_run_record, run_cluster  # local: avoids import cycle
+
+        over = job.overrides
+        try:
+            record = cluster_to_run_record(
+                run_cluster(
+                    job.algorithm,
+                    job.dataset,
+                    devices=int(cluster.get("devices", 2)),
+                    partitioner=cluster.get("partitioner", "hash2d"),
+                    seed=int(cluster.get("seed", 0)),
+                    device=self.defaults["device"],
+                    ordering=over.get("ordering", self.defaults["ordering"]),
+                    max_blocks_simulated=blocks,
+                    cost_model=self.defaults["cost_model"],
+                    engine=over.get("engine", self.defaults["engine"]),
+                    jobs=cluster.get("jobs", 1),
+                )
+            )
+        except Exception as exc:
+            return _failed_record(job.algorithm, job.dataset, self.defaults["device"], exc)
+        if job.shed_level > 0:
+            record = dataclasses.replace(
+                record,
+                extra={**record.extra, "shed_level": job.shed_level, "shed_blocks": blocks},
+            )
+        return record
 
     def _finish(self, handle: JobHandle, record: RunRecord) -> None:
         with handle._lock:

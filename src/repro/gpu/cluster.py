@@ -1,0 +1,295 @@
+"""Multi-GPU partitioning for simulated scale-out (TRUST-style).
+
+The source paper studies nine kernels on ONE device; TRUST (PAPERS.md)
+shows the next axis: distribute triangle counting over many GPUs by
+partitioning the edge set and keeping inter-partition traffic low.  This
+module is the device-independent half of that layer: it splits an
+oriented CSR replica into per-partition subgraphs such that
+
+    sum over partitions of triangles(subgraph_p)  ==  triangles(G)
+
+holds *exactly*, for any black-box triangle counter — no cross-partition
+correction term.  The executor half (``repro.framework.cluster``) runs
+each subgraph on its own simulated device.
+
+Exactly-once responsibility
+---------------------------
+In an oriented CSR every triangle ``u→v, u→w, v→w`` is counted once, at
+its *pivot edge* ``(u, v)``, as ``|N+(u) ∩ N+(v)|``.  A pivot edge is one
+CSR entry, so assigning every CSR entry to exactly one partition assigns
+every triangle to exactly one responsible partition.  Two ownership maps
+are provided:
+
+* ``edge1d`` — contiguous 1D chunks of the CSR entry index space
+  (``owner[e] = e * P // m``), the classic low-metadata split;
+* ``hash2d`` — TRUST's hashed 2D vertex partitioning on a ``(a, b)``
+  grid with ``a*b = P``: entry ``(u, v)`` goes to partition
+  ``(h(u) mod a) * b + (h(v) mod b)`` under a seeded vertex hash.
+
+Layered partition subgraphs
+---------------------------
+For owned edge set ``S_p`` the subgraph has three vertex layers:
+
+* ``A`` — sources of owned edges,
+* ``B`` — targets of owned edges,
+* ``C`` — closure: every original out-neighbour of an ``A`` or ``B``
+  vertex (vertices may be replicated across layers and partitions, as in
+  TRUST's per-GPU subgraph copies).
+
+Edges: owned edges ``A→B``; the *full* original rows of ``A`` and ``B``
+vertices redirected into ``C`` (``A→C``, ``B→C``).  Layer-ordered local
+ids keep the subgraph oriented.  ``C`` vertices are sinks and there are
+no intra-layer edges, so the only triangles are ``A→B→C``: pivot an
+owned edge ``(u, v)`` against the full rows of ``u`` and ``v`` and the
+intersection is exactly the original ``N+(u) ∩ N+(v)``.  Every kernel in
+the registry therefore counts exactly the partition's owned triangles.
+
+Exchange accounting
+-------------------
+The ownership map doubles as a data-placement map: CSR entry ``e`` lives
+on device ``owner[e]``.  The entries partition ``p`` *needs* (owned plus
+the closure rows) but does not own must cross the interconnect; each is
+one ``ENTRY_BYTES`` transfer.  The executor prices these bytes with the
+device preset's link bandwidth/latency.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "ENTRY_BYTES",
+    "PARTITIONERS",
+    "Partition",
+    "PartitionPlan",
+    "build_plan",
+    "edge1d_owners",
+    "hash2d_owners",
+    "hash_grid",
+    "vertex_hash",
+]
+
+#: bytes shipped per remote CSR entry (32-bit column id + 32-bit locator).
+ENTRY_BYTES = 8
+
+PARTITIONERS = ("edge1d", "hash2d")
+
+_U64 = 2**64
+
+
+def vertex_hash(ids: np.ndarray, seed: int, salt: str) -> np.ndarray:
+    """Seeded deterministic 64-bit avalanche hash of vertex ids.
+
+    The per-(seed, salt) mixing constant is drawn with the same
+    ``zlib.crc32`` derivation as :func:`repro.framework.resilience.seeded_jitter`
+    so cluster runs share one reproducibility idiom; the splitmix64-style
+    finalizer then decorrelates consecutive ids (TRUST's requirement that
+    the hash spread high-degree vertex rows across the grid).
+    """
+    draw = zlib.crc32(f"{seed}|cluster-hash|{salt}".encode())
+    x = ids.astype(np.uint64, copy=True)
+    x += np.uint64(((draw + 1) * 0x9E3779B97F4A7C15) % _U64)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def hash_grid(parts: int) -> tuple[int, int]:
+    """Factor ``parts`` into the squarest ``(a, b)`` grid with ``a <= b``."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    a = math.isqrt(parts)
+    while parts % a:
+        a -= 1
+    return a, parts // a
+
+
+def edge1d_owners(csr: CSRGraph, parts: int) -> np.ndarray:
+    """Contiguous 1D chunking: CSR entry ``e`` belongs to ``e * P // m``."""
+    m = csr.m
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    return (np.arange(m, dtype=np.int64) * parts) // m
+
+
+def hash2d_owners(csr: CSRGraph, parts: int, seed: int = 0) -> np.ndarray:
+    """TRUST-style hashed 2D split of entries ``(u, v)`` over an (a, b) grid."""
+    if csr.m == 0:
+        return np.empty(0, dtype=np.int64)
+    a, b = hash_grid(parts)
+    row = vertex_hash(csr.edge_sources(), seed, "row") % np.uint64(a)
+    colh = vertex_hash(csr.col, seed, "col") % np.uint64(b)
+    return (row.astype(np.int64) * b) + colh.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One device's share of the replica: subgraph + exchange footprint."""
+
+    index: int
+    csr: CSRGraph
+    #: CSR entries (pivot edges) this partition is responsible for.
+    owned_edges: int
+    #: entries the partition reads that live in its own memory.
+    local_entries: int
+    #: entries it must fetch from other partitions (closure rows).
+    remote_entries: int
+    #: interconnect bytes in: ``remote_entries * ENTRY_BYTES``.
+    exchange_bytes: int
+    #: distinct partitions the remote entries come from.
+    peers: int
+
+    @property
+    def empty(self) -> bool:
+        return self.owned_edges == 0
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Full decomposition of one replica for ``parts`` simulated devices."""
+
+    partitioner: str
+    parts: int
+    seed: int
+    #: (rows, cols) of the hash grid; ``(parts, 1)`` for edge1d.
+    grid: tuple[int, int]
+    n: int
+    m: int
+    #: per-CSR-entry owner, ``(m,)`` int64 in ``[0, parts)``.
+    owner: np.ndarray = field(repr=False)
+    partitions: tuple[Partition, ...] = field(repr=False)
+    #: cross-partition triangle correction.  The layered subgraphs assign
+    #: every triangle to exactly one partition, so this is identically 0;
+    #: it is kept explicit so the conservation invariant states the full
+    #: contract ``sum(partition counts) + correction == total``.
+    correction: int = 0
+
+    @property
+    def total_exchange_bytes(self) -> int:
+        return sum(p.exchange_bytes for p in self.partitions)
+
+    @property
+    def nonempty_parts(self) -> int:
+        return sum(1 for p in self.partitions if not p.empty)
+
+
+def _row_entries(csr: CSRGraph, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CSR entry indices of the full rows of ``vertices`` (+ their sources).
+
+    Returns ``(entries, sources)`` where ``entries[i]`` is an index into
+    ``csr.col`` and ``sources[i]`` the vertex whose row it came from.
+    """
+    starts = csr.row_ptr[vertices]
+    counts = csr.row_ptr[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    reps = np.repeat(np.arange(vertices.shape[0], dtype=np.int64), counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+    return starts[reps] + offsets, vertices[reps]
+
+
+_EMPTY_EDGES = np.empty((0, 2), dtype=np.int64)
+
+
+def _empty_partition(index: int) -> Partition:
+    csr = CSRGraph.from_edges(_EMPTY_EDGES, n=0, meta={"partition": index, "layers": (0, 0, 0)})
+    return Partition(
+        index=index, csr=csr, owned_edges=0, local_entries=0,
+        remote_entries=0, exchange_bytes=0, peers=0,
+    )
+
+
+def _build_partition(csr: CSRGraph, owner: np.ndarray, sources: np.ndarray, index: int) -> Partition:
+    owned = np.flatnonzero(owner == index)
+    if owned.size == 0:
+        return _empty_partition(index)
+    src = sources[owned]
+    dst = csr.col[owned]
+    layer_a = np.unique(src)
+    layer_b = np.unique(dst)
+    entries_a, src_a = _row_entries(csr, layer_a)
+    entries_b, src_b = _row_entries(csr, layer_b)
+    closure = np.unique(np.concatenate([csr.col[entries_a], csr.col[entries_b]]))
+
+    na, nb = layer_a.shape[0], layer_b.shape[0]
+    a_of = np.searchsorted(layer_a, src)              # owned edge sources → [0, na)
+    b_of = na + np.searchsorted(layer_b, dst)         # owned edge targets → [na, na+nb)
+    base_c = na + nb
+
+    def c_of(orig: np.ndarray) -> np.ndarray:
+        return base_c + np.searchsorted(closure, orig)
+
+    edges = np.concatenate([
+        np.stack([a_of, b_of], axis=1),
+        np.stack([np.searchsorted(layer_a, src_a), c_of(csr.col[entries_a])], axis=1),
+        np.stack([na + np.searchsorted(layer_b, src_b), c_of(csr.col[entries_b])], axis=1),
+    ])
+    sub = CSRGraph.from_edges(
+        edges,
+        n=base_c + closure.shape[0],
+        meta={"partition": index, "layers": (na, nb, closure.shape[0])},
+    )
+
+    needed = np.unique(np.concatenate([owned, entries_a, entries_b]))
+    remote = needed[owner[needed] != index]
+    peer_ids = np.unique(owner[remote])
+    return Partition(
+        index=index,
+        csr=sub,
+        owned_edges=int(owned.size),
+        local_entries=int(needed.size - remote.size),
+        remote_entries=int(remote.size),
+        exchange_bytes=int(remote.size) * ENTRY_BYTES,
+        peers=int(peer_ids.size),
+    )
+
+
+def build_plan(
+    csr: CSRGraph,
+    parts: int,
+    *,
+    partitioner: str = "hash2d",
+    seed: int = 0,
+) -> PartitionPlan:
+    """Partition an oriented CSR for ``parts`` simulated devices.
+
+    ``parts=1`` is the identity plan: the single partition is the input
+    graph itself (no layering, no exchange), so a 1-device cluster run
+    reproduces the single-device simulation bit-for-bit and anchors the
+    speedup/efficiency curves at ``S(1) = 1``.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if partitioner not in PARTITIONERS:
+        raise ValueError(f"unknown partitioner {partitioner!r}; known: {PARTITIONERS}")
+    grid = (parts, 1) if partitioner == "edge1d" else hash_grid(parts)
+    if parts == 1:
+        whole = Partition(
+            index=0, csr=csr, owned_edges=csr.m, local_entries=csr.m,
+            remote_entries=0, exchange_bytes=0, peers=0,
+        )
+        return PartitionPlan(
+            partitioner=partitioner, parts=1, seed=seed, grid=grid,
+            n=csr.n, m=csr.m,
+            owner=np.zeros(csr.m, dtype=np.int64), partitions=(whole,),
+        )
+    if partitioner == "edge1d":
+        owner = edge1d_owners(csr, parts)
+    else:
+        owner = hash2d_owners(csr, parts, seed)
+    sources = csr.edge_sources()
+    partitions = tuple(_build_partition(csr, owner, sources, p) for p in range(parts))
+    return PartitionPlan(
+        partitioner=partitioner, parts=parts, seed=seed, grid=grid,
+        n=csr.n, m=csr.m, owner=owner, partitions=partitions,
+    )

@@ -48,6 +48,23 @@ class CostModel:
     shared_cycles_per_transaction: float = 1.0
     #: fraction of peak DRAM bandwidth sustained by irregular access streams.
     achievable_bandwidth_fraction: float = 0.75
+    #: fraction of peak interconnect bandwidth sustained by the scatter of
+    #: small remote-row fetches a partitioned run performs (multi-GPU
+    #: scale-out, ``repro.gpu.cluster``).
+    link_efficiency: float = 0.8
+
+    def exchange_time(self, exchange_bytes: int, peers: int, device: DeviceSpec) -> float:
+        """Seconds one partition spends fetching remote CSR entries.
+
+        A fixed per-peer message latency plus the byte volume over the
+        device's (derated) link bandwidth.  Partitions exchange before
+        they compute, so the cluster executor adds this to each device's
+        kernel time and takes the max across devices as the makespan.
+        """
+        if exchange_bytes <= 0:
+            return 0.0
+        bandwidth = device.link_bandwidth_bytes_per_s * self.link_efficiency
+        return peers * device.link_latency_s + exchange_bytes / bandwidth
 
     def kernel_time(self, metrics: ProfileMetrics, device: DeviceSpec) -> float:
         """Simulated wall time (seconds) for the accumulated launches.

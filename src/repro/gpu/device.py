@@ -53,6 +53,12 @@ class DeviceSpec:
     #: observation that TRUST's hash build "becomes more significant in
     #: smaller datasets" compounds with it).
     kernel_launch_overhead_s: float = 4.0e-6
+    #: per-device interconnect bandwidth for multi-GPU scale-out
+    #: (``repro.gpu.cluster``): NVLink-class for the V100, PCIe-class for
+    #: the 4090.  Priced per remote CSR entry a partition must fetch.
+    link_bandwidth_bytes_per_s: float = 32e9
+    #: fixed per-peer message latency on that interconnect.
+    link_latency_s: float = 10.0e-6
 
     def __post_init__(self) -> None:
         if self.warp_size <= 0 or self.sm_count <= 0:
@@ -84,6 +90,8 @@ TESLA_V100 = DeviceSpec(
     clock_hz=1.38e9,
     issue_slots_per_sm=4,
     l2_bytes=6 * 1024 * 1024,
+    link_bandwidth_bytes_per_s=150e9,  # NVLink 2.0, per direction
+    link_latency_s=5.0e-6,
 )
 
 #: RTX 4090 (Ada): the paper quotes 144 multiprocessors (the full AD102
@@ -100,6 +108,8 @@ RTX_4090 = DeviceSpec(
     clock_hz=2.52e9,
     issue_slots_per_sm=4,
     l2_bytes=72 * 1024 * 1024,
+    link_bandwidth_bytes_per_s=32e9,  # PCIe 4.0 x16 (no NVLink on Ada)
+    link_latency_s=10.0e-6,
 )
 
 def scaled_device(spec: DeviceSpec, factor: float, *, suffix: str = "sim") -> DeviceSpec:
@@ -125,6 +135,7 @@ def scaled_device(spec: DeviceSpec, factor: float, *, suffix: str = "sim") -> De
         mem_bandwidth_bytes_per_s=spec.mem_bandwidth_bytes_per_s * factor,
         l2_bytes=max(1, round(spec.l2_bytes * factor)),
         l1_bytes=max(1, round(spec.l1_bytes * factor)),
+        link_bandwidth_bytes_per_s=spec.link_bandwidth_bytes_per_s * factor,
     )
 
 

@@ -46,8 +46,13 @@ class CSRGraph:
     meta: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
-        row_ptr = np.ascontiguousarray(self.row_ptr, dtype=np.int64)
-        col = np.ascontiguousarray(self.col, dtype=np.int64)
+        # Read-only views: no kernel or caller may mutate the topology, and
+        # the trace cache can memoise content digests of immutable arrays
+        # (the warm-replay fast path) instead of rehashing them every launch.
+        row_ptr = np.ascontiguousarray(self.row_ptr, dtype=np.int64).view()
+        col = np.ascontiguousarray(self.col, dtype=np.int64).view()
+        row_ptr.flags.writeable = False
+        col.flags.writeable = False
         object.__setattr__(self, "row_ptr", row_ptr)
         object.__setattr__(self, "col", col)
         self._validate()
@@ -134,8 +139,18 @@ class CSRGraph:
         return np.stack([src, self.col], axis=1)
 
     def edge_sources(self) -> np.ndarray:
-        """``(m,)`` array mapping CSR entry index to its source vertex."""
-        return np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        """``(m,)`` array mapping CSR entry index to its source vertex.
+
+        Computed once per graph and returned read-only: every upload of the
+        same replica then presents the identical immutable array, so its
+        trace-cache digest is memoised across launches.
+        """
+        cached = self.__dict__.get("_edge_sources")
+        if cached is None:
+            cached = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_edge_sources", cached)
+        return cached
 
     # -- derived facts -----------------------------------------------------
 

@@ -20,17 +20,30 @@ layer that closes that gap:
   floor, sampling consistency, parallel determinism);
 * :mod:`repro.verify.engines` — event vs vectorised simulator-engine
   parity: full metric diffs on fuzzed graphs with shrinking, plus a
-  fixture x algorithm snapshot diff between the engines.
+  fixture x algorithm snapshot diff between the engines;
+* :mod:`repro.verify.cluster_goldens` — scale-out baselines
+  (``tests/goldens/cluster_*.json``) pinning partition counts, exchange
+  bytes, and parallel efficiency for the multi-GPU cluster layer.
 
 Drive it from a shell::
 
     python -m repro.verify golden --check
     python -m repro.verify golden --update
+    python -m repro.verify cluster --check
     python -m repro.verify fuzz --seeds 25 --max-edges 400
     python -m repro.verify engines --seeds 10
     python -m repro.verify invariants
 """
 
+from .cluster_goldens import (
+    check_cluster_device,
+    cluster_golden_path,
+    compare_cluster_snapshots,
+    load_cluster_goldens,
+    record_cluster_device,
+    update_cluster_goldens,
+    write_cluster_goldens,
+)
 from .differential import FuzzReport, count_all, disagreements, fuzz_one, run_fuzz
 from .engines import (
     EngineReport,
@@ -60,7 +73,10 @@ __all__ = [
     "GOLDEN_DEVICES",
     "GoldenDiff",
     "InvariantResult",
+    "check_cluster_device",
     "check_device",
+    "cluster_golden_path",
+    "compare_cluster_snapshots",
     "compare_snapshots",
     "count_all",
     "ddmin",
@@ -73,11 +89,14 @@ __all__ = [
     "fixture_names",
     "fuzz_one",
     "golden_path",
+    "load_cluster_goldens",
     "load_goldens",
+    "record_cluster_device",
     "record_device",
     "run_engine_fuzz",
     "run_fuzz",
     "run_invariants",
+    "update_cluster_goldens",
     "update_goldens",
-    "write_goldens",
+    "write_cluster_goldens",
 ]

@@ -4,6 +4,7 @@
 
     python -m repro.verify golden --check          # diff against tests/goldens
     python -m repro.verify golden --update         # regenerate the snapshots
+    python -m repro.verify cluster --check         # scale-out baselines
     python -m repro.verify fuzz --seeds 25 --max-edges 400
     python -m repro.verify engines --seeds 10          # event vs vectorized
     python -m repro.verify invariants --seeds 8
@@ -18,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .cluster_goldens import check_cluster_device, cluster_golden_path, update_cluster_goldens
 from .differential import run_fuzz
 from .engines import ENGINE_FUZZ_EDGE_LIMIT, fixture_parity, run_engine_fuzz
 from .fixtures import GOLDEN_DEVICES
@@ -46,6 +48,19 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--root", default=None, help="snapshot directory (default: tests/goldens)")
     g.add_argument("--rtol", type=float, default=DEFAULT_RTOL, help="relative tolerance")
     g.add_argument("--atol", type=float, default=DEFAULT_ATOL, help="absolute tolerance")
+
+    c = sub.add_parser("cluster", help="check or regenerate scale-out baselines")
+    cmode = c.add_mutually_exclusive_group()
+    cmode.add_argument("--check", action="store_true", help="diff against snapshots (default)")
+    cmode.add_argument("--update", action="store_true", help="rewrite the snapshots")
+    c.add_argument(
+        "--devices",
+        default=",".join(GOLDEN_DEVICES),
+        help="comma-separated device presets (default: both simulated GPUs)",
+    )
+    c.add_argument("--root", default=None, help="snapshot directory (default: tests/goldens)")
+    c.add_argument("--rtol", type=float, default=DEFAULT_RTOL, help="relative tolerance")
+    c.add_argument("--atol", type=float, default=DEFAULT_ATOL, help="absolute tolerance")
 
     f = sub.add_parser("fuzz", help="differential fuzzing with shrinking")
     f.add_argument("--seeds", type=int, default=25, help="number of fuzz seeds (default 25)")
@@ -111,6 +126,30 @@ def _cmd_golden(args) -> int:
         if diffs:
             status = 1
             print(f"{device}: {len(diffs)} metric(s) drifted from {path}:")
+            for diff in diffs:
+                print(f"  {diff}")
+        else:
+            print(f"{device}: ok ({path})")
+    return status
+
+
+def _cmd_cluster(args) -> int:
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    if args.update:
+        for path in update_cluster_goldens(tuple(devices), root=args.root):
+            print(f"wrote {path}")
+        return 0
+    status = 0
+    for device in devices:
+        path = cluster_golden_path(device, args.root)
+        if not path.exists():
+            print(f"{device}: MISSING snapshot {path} (run `cluster --update`)")
+            status = 1
+            continue
+        diffs = check_cluster_device(device, root=args.root, rtol=args.rtol, atol=args.atol)
+        if diffs:
+            status = 1
+            print(f"{device}: {len(diffs)} value(s) drifted from {path}:")
             for diff in diffs:
                 print(f"  {diff}")
         else:
@@ -205,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "golden":
         return _cmd_golden(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "engines":

@@ -38,6 +38,7 @@ __all__ = [
     "check_disjoint_union",
     "check_isolated_padding",
     "check_duplicate_idempotence",
+    "check_cluster_conservation",
     "check_parallel_determinism",
     "check_telemetry",
     "run_invariants",
@@ -331,6 +332,74 @@ def check_telemetry(
     )
 
 
+def _drop_subgraph_edge(csr: CSRGraph, seed: int) -> CSRGraph:
+    """Remove one seeded CSR entry from a partition subgraph (fault drill)."""
+    import zlib
+
+    if csr.m == 0:
+        return csr
+    victim = zlib.crc32(f"{seed}|cluster-drill".encode()) % csr.m
+    edges = np.delete(csr.edge_array(), victim, axis=0)
+    return CSRGraph.from_edges(edges, n=csr.n)
+
+
+def check_cluster_conservation(
+    *,
+    parts: Sequence[int] = (2, 4, 8),
+    partitioners: Sequence[str] = ("edge1d", "hash2d"),
+    seed: int = 0,
+    tamper_seed: int | None = None,
+) -> InvariantResult:
+    """Partition counts sum to the single-device count — triangles are
+    neither lost nor double-counted by the cluster layer.
+
+    For every algorithm × fixture × partitioner × device count, the sum of
+    per-partition triangle counts plus the plan's cross-partition
+    correction (identically 0 for the layered subgraphs — the contract is
+    stated in full anyway) must equal the whole-graph count.
+
+    ``tamper_seed`` is the injected-bug drill: it drops one seeded edge
+    from the first non-empty partition of every plan before counting, and
+    the check must then FAIL for at least one cell — proving the
+    invariant actually fires when a partition loses data in flight.
+    """
+    from ..gpu.cluster import build_plan
+
+    algorithms = [cls() for cls in all_algorithms()]
+    checked = 0
+    for fname in fixture_names():
+        csr = fixture_csr(fname)
+        golden = {alg.name: int(alg.count(csr)) for alg in algorithms}
+        for partitioner in partitioners:
+            for p in parts:
+                plan = build_plan(csr, p, partitioner=partitioner, seed=seed)
+                subgraphs = [part.csr for part in plan.partitions]
+                if tamper_seed is not None:
+                    victim = next(
+                        (i for i, part in enumerate(plan.partitions) if not part.empty),
+                        None,
+                    )
+                    if victim is not None:
+                        subgraphs[victim] = _drop_subgraph_edge(
+                            subgraphs[victim], tamper_seed
+                        )
+                for alg in algorithms:
+                    total = sum(int(alg.count(sub)) for sub in subgraphs)
+                    total += plan.correction
+                    checked += 1
+                    if total != golden[alg.name]:
+                        return InvariantResult(
+                            "cluster-conservation", False,
+                            f"{fname}/{alg.name}/{partitioner}@{p}: partitions sum "
+                            f"to {total}, single device counts {golden[alg.name]}",
+                        )
+    return InvariantResult(
+        "cluster-conservation", True,
+        f"{checked} cells: all algorithms x fixtures x {tuple(partitioners)} "
+        f"at {tuple(parts)} devices",
+    )
+
+
 def run_invariants(
     *, seeds: int = 6, include_parallel: bool = True
 ) -> list[InvariantResult]:
@@ -344,6 +413,7 @@ def run_invariants(
         check_isolated_padding(seed_list),
         check_duplicate_idempotence(seed_list),
         check_telemetry(),
+        check_cluster_conservation(),
     ]
     if include_parallel:
         results.append(check_parallel_determinism())

@@ -26,7 +26,15 @@ import numpy as np
 
 from ..graph import generators as gen
 
-__all__ = ["FuzzCase", "STRATEGIES", "generate_case", "strategy_names"]
+__all__ = [
+    "FuzzCase",
+    "ClusterCase",
+    "PARTITION_COUNTS",
+    "STRATEGIES",
+    "generate_case",
+    "generate_cluster_case",
+    "strategy_names",
+]
 
 
 def _empty() -> np.ndarray:
@@ -145,3 +153,37 @@ def generate_case(seed: int, max_edges: int = 400) -> FuzzCase:
     if edges.size == 0:
         edges = _empty()
     return FuzzCase(seed=seed, strategy=name, edges=edges[:max_edges])
+
+
+#: Partition counts the cluster fuzz cases cycle through — the curve's
+#: 1/2/4/8/16 plus 3 (a non-power-of-two hash grid).  Combined with the
+#: small fuzz graphs this includes the degenerate shapes by construction:
+#: more partitions than vertices, and empty partitions.
+PARTITION_COUNTS = (1, 2, 3, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ClusterCase:
+    """One partitioner fuzz input: a fuzz graph plus a partitioning config."""
+
+    case: FuzzCase
+    parts: int
+    partitioner: str
+    partition_seed: int
+
+
+def generate_cluster_case(seed: int, max_edges: int = 400) -> ClusterCase:
+    """Deterministic cluster fuzz case: graph strategy × partition count.
+
+    Extends the :data:`STRATEGIES` round-robin with a second axis: the
+    same seed also picks a partition count from :data:`PARTITION_COUNTS`,
+    a partitioner, and the hash seed — so a failing seed reproduces the
+    full partitioned configuration bit-identically.
+    """
+    rng = np.random.default_rng(seed ^ 0xC1A5)
+    return ClusterCase(
+        case=generate_case(seed, max_edges),
+        parts=PARTITION_COUNTS[seed % len(PARTITION_COUNTS)],
+        partitioner="edge1d" if (seed // len(PARTITION_COUNTS)) % 2 else "hash2d",
+        partition_seed=int(rng.integers(2**31)),
+    )

@@ -53,13 +53,13 @@ def test_telemetry_invariant_holds():
 
 def test_run_invariants_catalogue(monkeypatch):
     results = run_invariants(seeds=3, include_parallel=False)
-    assert len(results) == 7
+    assert len(results) == 8
     assert all(r.passed for r in results), [str(r) for r in results if not r.passed]
     names = [r.name for r in results]
     assert names == [
         "metric-ranges", "sampling-consistency", "relabelling",
         "disjoint-union", "isolated-padding", "duplicate-idempotence",
-        "telemetry",
+        "telemetry", "cluster-conservation",
     ]
 
 
