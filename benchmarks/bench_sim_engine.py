@@ -4,12 +4,18 @@ The PR-gating number for the record/replay engine: the full golden
 fixture x algorithm x device matrix (what ``golden --check`` pays) under
 the event executor, then under the vectorised engine three ways — cold
 (empty trace cache: record + replay), warm from disk (fresh process,
-traces rehydrated from ``.cache/``), and warm from memory (steady-state
-developer loop).  Parity is asserted with the golden comparator before
-any number is written, so a fast-but-wrong engine can never post a time.
+traces mmap-served from ``.cache/traces/``), and warm from memory
+(steady-state developer loop).  Parity is asserted with the golden
+comparator before any number is written, so a fast-but-wrong engine can
+never post a time.
+
+Each vectorised phase also reports the engine's internal stage split
+(trace load/store, record, fused replay, counter aggregation — see
+``repro.gpu.engine.stage_times``), so a perf regression in CI is
+attributable to a stage without rerunning anything locally.
 
 Results land in ``BENCH_sim.json``; CI's perf-smoke job diffs the cold
-vectorised time against the checked-in baseline.
+and warm-disk vectorised times against the checked-in baseline.
 
 Run with ``pytest benchmarks/bench_sim_engine.py --benchmark-only -s``.
 """
@@ -20,7 +26,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.gpu.engine import use_engine
+from repro.gpu.engine import reset_stage_times, stage_times, use_engine
 from repro.gpu.trace import get_trace_cache, reset_trace_cache
 from repro.verify.fixtures import GOLDEN_DEVICES
 from repro.verify.goldens import compare_snapshots, record_device
@@ -41,31 +47,29 @@ def test_sim_engine(benchmark, tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
 
     timings: dict[str, float] = {}
+    stages: dict[str, dict[str, float]] = {}
     snapshots: dict[str, dict] = {}
+
+    def vectorized_phase(name: str) -> dict:
+        reset_stage_times()
+        t0 = time.perf_counter()
+        result = _matrix("vectorized")
+        timings[name] = time.perf_counter() - t0
+        stages[name] = {k: round(v, 4) for k, v in stage_times().items()}
+        return result
 
     def run():
         t0 = time.perf_counter()
         snapshots["event"] = _matrix("event")
-        t1 = time.perf_counter()
+        timings["event_s"] = time.perf_counter() - t0
 
         reset_trace_cache()  # empty memory + (tmp) disk: true cold record
-        t2 = time.perf_counter()
-        snapshots["vectorized"] = _matrix("vectorized")
-        t3 = time.perf_counter()
+        snapshots["vectorized"] = vectorized_phase("vectorized_cold_s")
 
         reset_trace_cache()  # fresh process analogue: memory gone, disk warm
-        t4 = time.perf_counter()
-        _matrix("vectorized")
-        t5 = time.perf_counter()
+        vectorized_phase("vectorized_warm_disk_s")
 
-        t6 = time.perf_counter()
-        _matrix("vectorized")  # steady state: in-memory trace hits
-        t7 = time.perf_counter()
-
-        timings["event_s"] = t1 - t0
-        timings["vectorized_cold_s"] = t3 - t2
-        timings["vectorized_warm_disk_s"] = t5 - t4
-        timings["vectorized_warm_s"] = t7 - t6
+        vectorized_phase("vectorized_warm_s")  # steady state: memory hits
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -87,6 +91,11 @@ def test_sim_engine(benchmark, tmp_path, monkeypatch):
         "speedup_cold": round(timings["event_s"] / timings["vectorized_cold_s"], 2),
         "speedup_warm_disk": round(timings["event_s"] / timings["vectorized_warm_disk_s"], 2),
         "speedup_warm": round(timings["event_s"] / timings["vectorized_warm_s"], 2),
+        "stages": {
+            "cold": stages["vectorized_cold_s"],
+            "warm_disk": stages["vectorized_warm_disk_s"],
+            "warm": stages["vectorized_warm_s"],
+        },
     }
     OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\nsim engine timings -> {OUT}")

@@ -1,0 +1,465 @@
+"""Machine-independent work-efficiency metrics for the studied algorithms.
+
+Wall-clock comparisons between intersection strategies conflate the
+algorithm with the device model, the scheduler, and the cache hierarchy.
+This module provides the orthogonal axis: **how many element comparisons
+does each algorithm perform on a given graph**, measured against the
+instance-optimal lower bound for comparison-based set intersection.
+
+Lower bound
+-----------
+Any comparison-based intersection of two sorted sets ``A`` and ``B`` must
+inspect at least ``min(|A|, |B|)`` elements (every member of the shorter
+list has to be ruled in or out).  Summing over the oriented edge list gives
+the instance lower bound used throughout::
+
+    LB(G) = sum over oriented edges (u, v) of min(d+(u), d+(v))
+
+``comparisons / LB`` is then a dimensionless *work ratio*: how much the
+algorithm over-searches relative to an instance-optimal edge iterator.
+
+Counting rules
+--------------
+Every model counts **element comparisons** — probes of neighbour-list
+values against neighbour-list values (merge steps, binary-search probes,
+hash-slot inspections, bitmap bit tests).  Index arithmetic, prefix-scan
+bookkeeping, and bucket-fill loads are excluded.  All counts are exact
+replays of the kernel control flow except where noted:
+
+* ``Polak`` — closed form: the two-pointer merge of rows ``A``/``B``
+  performs ``|{a <= c}| + |{b <= c}| - |A ∩ B|`` iterations, where
+  ``c = min(max A, max B)``.
+* ``Green`` — exact lockstep simulation of all 32 lanes per edge: the
+  merge-path diagonal search plus the budget-bounded slice merges.
+* ``TriCore`` / ``Fox`` — exact early-exit binary search of every query
+  (shorter list) into its table (longer list); the two differ only in the
+  tie rule when ``d(u) == d(v)``.
+* ``GroupTC`` — early-exit binary search with the u-row-tail table and the
+  1:32 flip rule.  The kernel's *memo-resume* optimisation (which narrows
+  a search using the previous hit of the same thread) is deliberately not
+  modelled: it depends on the work-list schedule, and the metric must stay
+  a pure function of the graph.  The owning-edge search over the shared
+  prefix array compares scan counters, not elements, and is excluded.
+* ``Hu`` — exact early-exit binary search of every 2-hop neighbour into
+  the root's row.
+* ``H-INDEX`` / ``TRUST`` — exact hash-probe counts.  The strided build
+  inserts each sorted row in ascending order, so a bucket's slot order is
+  ascending; a hit inspects its smaller same-bucket elements plus itself,
+  a miss inspects the whole bucket.
+* ``Bisson`` — bitmap bit tests over the full symmetric adjacency:
+  ``sum over vertices w of d_full(w)^2``.
+
+Hash and bitmap algorithms are not comparison-based, so their work ratio
+can legitimately drop below 1 — the lower bound is a yardstick, not a
+floor, for those rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "WorkEfficiency",
+    "WORK_MODELS",
+    "comparisons_performed",
+    "lower_bound_comparisons",
+    "work_efficiency",
+]
+
+_I64 = np.int64
+
+
+# ---------------------------------------------------------------------------
+# shared machinery
+
+
+def _encoded_rows(csr: CSRGraph) -> np.ndarray:
+    """Globally sorted ``u * n + x`` encoding of every CSR entry."""
+    n = _I64(csr.n)
+    if csr.n and int(n) * int(n) > np.iinfo(_I64).max:  # pragma: no cover
+        raise OverflowError("graph too large for encoded row queries")
+    return csr.edge_sources() * n + csr.col
+
+
+def _rank_leq(csr: CSRGraph, encoded: np.ndarray, rows, caps) -> np.ndarray:
+    """``|{x in N(rows[k]) : x <= caps[k]}|`` for parallel arrays."""
+    rows = np.asarray(rows, dtype=_I64)
+    caps = np.asarray(caps, dtype=_I64)
+    needles = rows * _I64(csr.n) + caps
+    return np.searchsorted(encoded, needles, side="right") - csr.row_ptr[rows]
+
+
+def _expand_segments(starts, counts):
+    """(segment index, absolute position) for the concatenation of segments."""
+    counts = np.asarray(counts, dtype=_I64)
+    total = int(counts.sum())
+    seg = np.repeat(np.arange(counts.shape[0], dtype=_I64), counts)
+    ends = np.cumsum(counts)
+    offset = np.arange(total, dtype=_I64) - np.repeat(ends - counts, counts)
+    return seg, np.asarray(starts, dtype=_I64)[seg] + offset
+
+
+def _bisect_probes(col, t_start, t_len, keys) -> int:
+    """Total probes of the kernels' early-exit binary search, exactly.
+
+    Per query: ``while lo < hi`` over ``col[t_start : t_start + t_len]``,
+    one probe per iteration, breaking on equality.  Vectorised as a masked
+    lockstep loop — every active query advances one level per round.
+    """
+    t_start = np.asarray(t_start, dtype=_I64)
+    t_len = np.asarray(t_len, dtype=_I64)
+    keys = np.asarray(keys, dtype=_I64)
+    lo = np.zeros(keys.shape[0], dtype=_I64)
+    hi = t_len.copy()
+    act = np.flatnonzero(hi > lo)
+    total = 0
+    while act.size:
+        mid = (lo[act] + hi[act]) >> 1
+        val = col[t_start[act] + mid]
+        total += int(act.size)
+        k = keys[act]
+        eq = val == k
+        lt = val < k
+        new_lo = np.where(lt, mid + 1, lo[act])
+        new_hi = np.where(lt, hi[act], mid)
+        lo[act] = new_lo
+        hi[act] = new_hi
+        act = act[~eq & (new_lo < new_hi)]
+    return total
+
+
+def _edge_rows(csr: CSRGraph):
+    eu = csr.edge_sources()
+    ev = csr.col
+    deg = csr.degrees
+    return eu, ev, deg[eu].astype(_I64), deg[ev].astype(_I64)
+
+
+# ---------------------------------------------------------------------------
+# lower bound
+
+
+def lower_bound_comparisons(csr: CSRGraph) -> int:
+    """Instance-optimal comparison lower bound over the oriented edges."""
+    if csr.m == 0:
+        return 0
+    _, _, du, dv = _edge_rows(csr)
+    return int(np.minimum(du, dv).sum())
+
+
+# ---------------------------------------------------------------------------
+# merge models
+
+
+def _polak_comparisons(csr: CSRGraph) -> int:
+    from ..intersect.binsearch import batch_edge_intersection_counts
+
+    if csr.m == 0:
+        return 0
+    eu, ev, du, dv = _edge_rows(csr)
+    live = (du > 0) & (dv > 0)
+    if not live.any():
+        return 0
+    # Row maxima (the merge stops once the pointer whose row maximum is
+    # smaller runs off the end).
+    last = np.full(csr.n, -1, dtype=_I64)
+    nz = csr.degrees > 0
+    last[nz] = csr.col[csr.row_ptr[1:][nz] - 1]
+    stop = np.minimum(last[eu[live]], last[ev[live]])
+    encoded = _encoded_rows(csr)
+    cu = _rank_leq(csr, encoded, eu[live], stop)
+    cv = _rank_leq(csr, encoded, ev[live], stop)
+    matches = batch_edge_intersection_counts(csr)[live]
+    return int((cu + cv - matches).sum())
+
+
+def _green_comparisons(csr: CSRGraph) -> int:
+    """Exact lane-lockstep replay of the Merge Path kernel, all 32 lanes."""
+    if csr.m == 0:
+        return 0
+    eu, ev, du, dv = _edge_rows(csr)
+    live = (du > 0) & (dv > 0)
+    if not live.any():
+        return 0
+    us = csr.row_ptr[eu[live]].astype(_I64)
+    vs = csr.row_ptr[ev[live]].astype(_I64)
+    la = du[live]
+    lb = dv[live]
+    total_len = la + lb
+    lanes = np.arange(32, dtype=_I64)
+    # Per (edge, lane) diagonals, shape (edges, 32) flattened.
+    diag_lo = (total_len[:, None] * lanes[None, :]) // 32
+    diag_hi = (total_len[:, None] * (lanes[None, :] + 1)) // 32
+    us_l = np.broadcast_to(us[:, None], diag_lo.shape).ravel()
+    vs_l = np.broadcast_to(vs[:, None], diag_lo.shape).ravel()
+    la_l = np.broadcast_to(la[:, None], diag_lo.shape).ravel()
+    lb_l = np.broadcast_to(lb[:, None], diag_lo.shape).ravel()
+    diag_lo = diag_lo.ravel()
+    budget = (diag_hi.ravel() - diag_lo).astype(_I64)
+    col = csr.col
+    total = 0
+    # --- diagonal search: find each lane's merge-path crossing point.
+    lo = np.maximum(0, diag_lo - lb_l)
+    hi = np.minimum(diag_lo, la_l)
+    act = np.flatnonzero(lo < hi)
+    while act.size:
+        mid = (lo[act] + hi[act]) >> 1
+        av = col[us_l[act] + mid]
+        bv = col[vs_l[act] + diag_lo[act] - 1 - mid]
+        total += int(act.size)
+        le = av <= bv
+        new_lo = np.where(le, mid + 1, lo[act])
+        new_hi = np.where(le, hi[act], mid)
+        lo[act] = new_lo
+        hi[act] = new_hi
+        act = act[new_lo < new_hi]
+    # --- slice merge: each lane merges its budgeted span.
+    i = lo
+    j = diag_lo - lo
+    act = np.flatnonzero((budget > 0) & (i < la_l) & (j < lb_l))
+    while act.size:
+        av = col[us_l[act] + i[act]]
+        bv = col[vs_l[act] + j[act]]
+        total += int(act.size)
+        lt = av < bv
+        gt = bv < av
+        eq = ~lt & ~gt
+        i[act] += lt | eq
+        j[act] += gt | eq
+        budget[act] -= 1 + eq
+        act = act[(budget[act] > 0) & (i[act] < la_l[act]) & (j[act] < lb_l[act])]
+    return total
+
+
+# ---------------------------------------------------------------------------
+# binary-search models
+
+
+def _edge_bisect_comparisons(csr: CSRGraph, queries_from_u) -> int:
+    """Shorter-list-queries-into-longer-table search, per oriented edge.
+
+    ``queries_from_u`` is the tie rule: which side queries when
+    ``d(u) == d(v)`` (TriCore keeps the u side as the table, Fox as the
+    queries).
+    """
+    if csr.m == 0:
+        return 0
+    eu, ev, du, dv = _edge_rows(csr)
+    live = (du > 0) & (dv > 0)
+    if not live.any():
+        return 0
+    eu, ev, du, dv = eu[live], ev[live], du[live], dv[live]
+    u_queries = (du <= dv) if queries_from_u else (du < dv)
+    q_rows = np.where(u_queries, eu, ev)
+    t_rows = np.where(u_queries, ev, eu)
+    q_starts = csr.row_ptr[q_rows].astype(_I64)
+    q_counts = csr.degrees[q_rows].astype(_I64)
+    seg, q_pos = _expand_segments(q_starts, q_counts)
+    return _bisect_probes(
+        csr.col,
+        csr.row_ptr[t_rows[seg]],
+        csr.degrees[t_rows[seg]],
+        csr.col[q_pos],
+    )
+
+
+def _tricore_comparisons(csr: CSRGraph) -> int:
+    return _edge_bisect_comparisons(csr, queries_from_u=False)
+
+
+def _fox_comparisons(csr: CSRGraph) -> int:
+    return _edge_bisect_comparisons(csr, queries_from_u=True)
+
+
+def _grouptc_comparisons(csr: CSRGraph) -> int:
+    from ..algorithms.grouptc import FLIP_RATIO
+
+    if csr.m == 0:
+        return 0
+    eu, ev, _, dv = _edge_rows(csr)
+    e = np.arange(csr.m, dtype=_I64)
+    u_start = e + 1
+    u_len = csr.row_ptr[eu + 1].astype(_I64) - u_start
+    v_start = csr.row_ptr[ev].astype(_I64)
+    v_len = dv
+    live = (u_len > 0) & (v_len > 0)
+    if not live.any():
+        return 0
+    u_start, u_len = u_start[live], u_len[live]
+    v_start, v_len = v_start[live], v_len[live]
+    flip = v_len * FLIP_RATIO < u_len
+    q_start = np.where(flip, u_start, v_start)
+    q_len = np.where(flip, u_len, v_len)
+    t_start = np.where(flip, v_start, u_start)
+    t_len = np.where(flip, v_len, u_len)
+    seg, q_pos = _expand_segments(q_start, q_len)
+    return _bisect_probes(csr.col, t_start[seg], t_len[seg], csr.col[q_pos])
+
+
+def _hu_comparisons(csr: CSRGraph) -> int:
+    if csr.m == 0:
+        return 0
+    eu, ev, du, _ = _edge_rows(csr)
+    # Every 2-hop neighbour w of every wedge (u, v) is searched in N(u).
+    seg, q_pos = _expand_segments(
+        csr.row_ptr[ev].astype(_I64), csr.degrees[ev].astype(_I64)
+    )
+    return _bisect_probes(
+        csr.col, csr.row_ptr[eu[seg]], du[seg], csr.col[q_pos]
+    )
+
+
+# ---------------------------------------------------------------------------
+# hash models
+
+
+def _hash_probe_total(csr, table_rows, keys, num_buckets) -> int:
+    """Exact slot inspections for probing ``keys[k]`` in the bucketed hash
+    of row ``table_rows[k]``.
+
+    The strided build inserts each (sorted) row in ascending order, so a
+    bucket holds its elements in ascending order.  A hit therefore
+    inspects every smaller same-bucket element plus the match; a miss
+    inspects the full bucket.
+    """
+    table_rows = np.asarray(table_rows, dtype=_I64)
+    keys = np.asarray(keys, dtype=_I64)
+    if keys.shape[0] == 0:
+        return 0
+    n = _I64(max(csr.n, 1))
+    bcount = _I64(num_buckets)
+    if int(n) * int(n) * int(bcount) > np.iinfo(_I64).max:  # pragma: no cover
+        raise OverflowError("graph too large for encoded hash-probe queries")
+    # One globally sorted key per CSR entry: (row, bucket, value).
+    entry_key = (csr.edge_sources() * bcount + csr.col % bcount) * n + csr.col
+    entry_key = np.sort(entry_key)
+    q_bucket = table_rows * bcount + keys % bcount
+    b_start = np.searchsorted(entry_key, q_bucket * n)
+    b_end = np.searchsorted(entry_key, (q_bucket + 1) * n)
+    target = q_bucket * n + keys
+    pos = np.searchsorted(entry_key, target)
+    hit = np.zeros(keys.shape[0], dtype=bool)
+    inside = pos < entry_key.shape[0]
+    hit[inside] = entry_key[pos[inside]] == target[inside]
+    smaller = pos - b_start
+    fill = b_end - b_start
+    return int(np.where(hit, smaller + 1, fill).sum())
+
+
+def _hindex_comparisons(csr: CSRGraph) -> int:
+    from ..algorithms.hindex import NUM_BUCKETS
+
+    if csr.m == 0:
+        return 0
+    eu, ev, du, dv = _edge_rows(csr)
+    live = (du > 0) & (dv > 0)
+    if not live.any():
+        return 0
+    eu, ev, du, dv = eu[live], ev[live], du[live], dv[live]
+    hash_u = du <= dv  # shorter list is hashed, longer list queries
+    h_rows = np.where(hash_u, eu, ev)
+    q_rows = np.where(hash_u, ev, eu)
+    seg, q_pos = _expand_segments(
+        csr.row_ptr[q_rows].astype(_I64), csr.degrees[q_rows].astype(_I64)
+    )
+    return _hash_probe_total(csr, h_rows[seg], csr.col[q_pos], NUM_BUCKETS)
+
+
+def _trust_comparisons(csr: CSRGraph) -> int:
+    from ..algorithms.trust import BLOCK_DEGREE, MIN_DEGREE
+
+    if csr.m == 0:
+        return 0
+    eu, ev, _, _ = _edge_rows(csr)
+    deg = csr.degrees
+    total = 0
+    for tier, buckets in (
+        ((deg[eu] >= MIN_DEGREE) & (deg[eu] <= BLOCK_DEGREE), 32),
+        (deg[eu] > BLOCK_DEGREE, 1024),
+    ):
+        if not tier.any():
+            continue
+        tu, tv = eu[tier], ev[tier]
+        # N(u) is hashed once per tier vertex; every 2-hop neighbour
+        # x in N(w), w in N(u) probes it.
+        seg, q_pos = _expand_segments(
+            csr.row_ptr[tv].astype(_I64), deg[tv].astype(_I64)
+        )
+        total += _hash_probe_total(csr, tu[seg], csr.col[q_pos], buckets)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# bitmap model
+
+
+def _bisson_comparisons(csr: CSRGraph) -> int:
+    """Bit tests over the full symmetric adjacency: sum of d_full(w)^2."""
+    if csr.m == 0:
+        return 0
+    deg_full = csr.degrees.astype(_I64)
+    if csr.is_oriented():
+        deg_full = deg_full + np.bincount(csr.col, minlength=csr.n)
+    return int((deg_full.astype(np.float64) ** 2).sum())
+
+
+# ---------------------------------------------------------------------------
+# public API
+
+WORK_MODELS = {
+    "polak": _polak_comparisons,
+    "green": _green_comparisons,
+    "tricore": _tricore_comparisons,
+    "fox": _fox_comparisons,
+    "grouptc": _grouptc_comparisons,
+    "hu": _hu_comparisons,
+    "hindex": _hindex_comparisons,
+    "h-index": _hindex_comparisons,
+    "trust": _trust_comparisons,
+    "bisson": _bisson_comparisons,
+}
+
+
+def comparisons_performed(csr: CSRGraph, algorithm: str) -> int:
+    """Element comparisons ``algorithm`` performs on ``csr`` (exact model)."""
+    try:
+        model = WORK_MODELS[algorithm.lower()]
+    except KeyError:
+        raise KeyError(
+            f"no work model for {algorithm!r}; known: "
+            f"{sorted(set(WORK_MODELS) - {'h-index'})}"
+        ) from None
+    return int(model(csr))
+
+
+@dataclass(frozen=True)
+class WorkEfficiency:
+    """One algorithm's comparison count against the instance lower bound."""
+
+    algorithm: str
+    comparisons: int
+    lower_bound: int
+
+    @property
+    def work_ratio(self) -> float:
+        """``comparisons / lower_bound`` (1.0 for the empty graph)."""
+        if self.lower_bound > 0:
+            return self.comparisons / self.lower_bound
+        return 1.0 if self.comparisons == 0 else float("inf")
+
+
+def work_efficiency(csr: CSRGraph, algorithm: str) -> WorkEfficiency:
+    """Comparisons performed, lower bound, and their ratio for one cell.
+
+    A pure function of the graph: identical under the event and vectorized
+    engines, under batched and per-launch replay, and across devices.
+    """
+    return WorkEfficiency(
+        algorithm=algorithm,
+        comparisons=comparisons_performed(csr, algorithm),
+        lower_bound=lower_bound_comparisons(csr),
+    )

@@ -36,6 +36,7 @@ from .report import (
     render_speedups,
     render_table1,
     render_table2,
+    render_work_efficiency,
 )
 from .runner import DEFAULT_MAX_BLOCKS, run_one
 from .sweep import best_config, sweep_config
@@ -47,6 +48,8 @@ FIGURE_METRICS = (
     "global_load_requests",
     "warp_execution_efficiency",
     "gld_transactions_per_request",
+    "comparisons",
+    "work_ratio",
 )
 
 
@@ -161,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("subject", help="algorithm whose speedup is reported")
     s.add_argument("--baselines", default="Polak,TRUST")
     s.add_argument("--datasets", help="comma-separated subset")
+
+    wk = sub.add_parser(
+        "work", help="work-efficiency table (comparisons vs. lower bound)"
+    )
+    wk.add_argument("--datasets", help="comma-separated subset (default: all 19)")
+    wk.add_argument("--algorithms", help="comma-separated subset (default: all 9)")
+    wk.add_argument("--csv", action="store_true", help="emit the raw matrix as CSV")
 
     w = sub.add_parser("sweep", help="configuration sweep for one algorithm")
     w.add_argument("algorithm")
@@ -412,6 +422,20 @@ def _dispatch(args: argparse.Namespace) -> int:
             **resilience_kwargs,
         )
         print(matrix_to_csv(matrix) if args.csv else render_figure_series(matrix, args.metric))
+        return 0
+
+    if args.command == "work":
+        matrix = run_matrix(
+            _split(args.algorithms),
+            _split(args.datasets),
+            device=device,
+            ordering=args.ordering,
+            max_blocks_simulated=args.blocks,
+            engine=args.engine,
+            jobs=args.jobs,
+            **resilience_kwargs,
+        )
+        print(matrix_to_csv(matrix) if args.csv else render_work_efficiency(matrix))
         return 0
 
     if args.command == "speedup":

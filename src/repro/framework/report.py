@@ -6,7 +6,10 @@ Each ``render_*`` function regenerates one artefact of the paper:
 * :func:`render_table2` — dataset statistics (Table II, replica scale);
 * :func:`render_figure_series` — one metric across the matrix (Figures
   11, 12, 13a, 13b) with failed cells marked ``x`` like the red crosses;
-* :func:`render_speedups` — the Figure 15 comparison summary.
+* :func:`render_speedups` — the Figure 15 comparison summary;
+* :func:`render_work_efficiency` — the machine-independent work dimension
+  (element comparisons vs. the instance-optimal lower bound, see
+  :mod:`repro.analysis.work`).
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ __all__ = [
     "render_table2",
     "render_figure_series",
     "render_speedups",
+    "render_work_efficiency",
     "render_cluster",
     "render_scaleout",
     "matrix_to_csv",
@@ -33,6 +37,8 @@ _METRIC_FORMATS = {
     "global_load_requests": ("global load requests", 1.0, "{:12.0f}"),
     "warp_execution_efficiency": ("warp execution efficiency", 100.0, "{:8.1f}"),
     "gld_transactions_per_request": ("gld transactions per request", 1.0, "{:8.2f}"),
+    "comparisons": ("element comparisons performed", 1.0, "{:12.0f}"),
+    "work_ratio": ("comparisons / intersection lower bound", 1.0, "{:8.2f}"),
 }
 
 
@@ -153,6 +159,51 @@ def render_speedups(matrix: ComparisonMatrix, subject: str, baselines: tuple[str
     return out.getvalue()
 
 
+def render_work_efficiency(matrix: ComparisonMatrix) -> str:
+    """The work-efficiency dimension: ``comparisons (x lower bound)``.
+
+    Rows are algorithms, columns datasets; each measured cell prints the
+    element comparisons the algorithm performed and, in parentheses, the
+    ratio to the instance-optimal intersection lower bound (the ``LB``
+    row).  The counts are analytical replays of each kernel's control
+    flow (:mod:`repro.analysis.work`), so they are exact, deterministic,
+    and independent of device, engine, and replay batching.  Hash and
+    bitmap algorithms are not comparison-based: their ratio may drop
+    below 1.
+    """
+    out = io.StringIO()
+    out.write("work efficiency — comparisons (x lower bound)\n")
+    width = 18
+    out.write(
+        " " * 10
+        + "".join(f"{ds[:width - 1]:>{width}s}" for ds in matrix.datasets)
+        + "\n"
+    )
+    lb_row: dict[str, float | None] = {}
+    for alg in matrix.algorithms:
+        out.write(f"{alg:10s}")
+        for ds in matrix.datasets:
+            rec = matrix.cell(alg, ds)
+            usable = rec.usable and rec.comparisons is not None
+            if usable:
+                cell = f"{rec.comparisons:.0f} ({rec.work_ratio:.2f}x)"
+                if rec.status == "degraded":
+                    cell += "*"
+                if rec.work_ratio and rec.work_ratio > 0:
+                    lb_row.setdefault(ds, rec.comparisons / rec.work_ratio)
+            else:
+                cell = _STATUS_MARKS.get(rec.status, "x")
+            out.write(f"{cell:>{width}s}")
+        out.write("\n")
+    out.write(f"{'LB':10s}")
+    for ds in matrix.datasets:
+        lb = lb_row.get(ds)
+        out.write(f"{'?' if lb is None else format(lb, '.0f'):>{width}s}")
+    out.write("\n")
+    out.write(_status_footnotes(matrix.records))
+    return out.getvalue()
+
+
 def render_cluster(record) -> str:
     """Per-partition breakdown of one cluster run.
 
@@ -222,6 +273,8 @@ def matrix_to_csv(matrix: ComparisonMatrix) -> str:
         "warp_execution_efficiency",
         "gld_transactions_per_request",
         "global_load_requests",
+        "comparisons",
+        "work_ratio",
         "size_class",
     ]
     lines = [",".join(cols)]

@@ -58,6 +58,12 @@ class RunRecord:
     warp_execution_efficiency: float | None = None
     gld_transactions_per_request: float | None = None
     global_load_requests: float | None = None
+    #: machine-independent work dimension (repro.analysis.work): element
+    #: comparisons the algorithm performs on this replica, and their ratio
+    #: to the instance-optimal intersection lower bound.  Pure functions of
+    #: the graph — identical across devices, engines, and replay batching.
+    comparisons: float | None = None
+    work_ratio: float | None = None
     error: str | None = None
     size_class: str = ""
     extra: dict = field(default_factory=dict)
@@ -162,6 +168,17 @@ def run_one(
             size_class=regime,
         )
     m = result.metrics
+    comparisons = work_ratio = None
+    try:
+        from ..analysis.work import work_efficiency
+
+        we = work_efficiency(csr, alg.name)
+        comparisons = float(we.comparisons)
+        work_ratio = we.work_ratio
+    except Exception as exc:  # metric must never fail a measured cell
+        tracer.warning(
+            "work_metric_failed", algorithm=alg.name, dataset=dataset, error=str(exc)
+        )
     return RunRecord(
         algorithm=alg.name,
         dataset=dataset,
@@ -172,6 +189,8 @@ def run_one(
         warp_execution_efficiency=m.warp_execution_efficiency,
         gld_transactions_per_request=m.gld_transactions_per_request,
         global_load_requests=m.global_load_requests,
+        comparisons=comparisons,
+        work_ratio=work_ratio,
         size_class=regime,
         extra={
             "device_triangles": result.device_triangles,

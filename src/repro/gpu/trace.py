@@ -69,7 +69,10 @@ __all__ = [
 #: (nvprof-style source-level attribution survives cache round-trips).
 #: v3 fingerprints array arguments by per-array content digest (memoised
 #: for immutable arrays) instead of splicing raw bytes into one stream.
-TRACE_SCHEMA = 3
+#: v4 persists the device-independent replay reductions (base counters,
+#: coalesced sector stream, per-row sector counts) alongside the raw
+#: event streams, so a warm process replays without re-reducing.
+TRACE_SCHEMA = 4
 
 # Trace opcodes.  The event vocabulary collapses: "ga"/"go" share atomic
 # accounting, "sa"/"so" share same-address serialisation, and "a"/"sc"/"bc"
@@ -84,6 +87,28 @@ OP_SHARED_ATOMIC = 6  # payload: shared word indices (address serialisation)
 OP_ALU = 7            # aux: extra ALU cycles beyond the implicit one
 OP_WSYNC = 8          # released __syncwarp (one issue step, no payload)
 OP_SYNC_EVENT = 9     # block barrier release (sync_events only, no step)
+
+#: Canonical order of the device-independent per-block counters — the keys
+#: of the ``base`` replay memo's counter dict.  Serialisation flattens the
+#: dict into an int64 row per block trace in exactly this order, so the
+#: engine (which builds the dict) and the store (which round-trips it)
+#: must agree on it.
+BASE_COUNTER_FIELDS = (
+    "warp_steps",
+    "active_lane_steps",
+    "sync_events",
+    "alu_cycles",
+    "global_load_requests",
+    "global_store_requests",
+    "atomic_requests",
+    "shared_load_requests",
+    "shared_store_requests",
+    "global_load_transactions",
+    "global_store_transactions",
+    "atomic_transactions",
+    "shared_load_transactions",
+    "shared_store_transactions",
+)
 
 
 class BlockTrace:
@@ -215,6 +240,10 @@ class LaunchTrace:
     instances: np.ndarray = field(repr=False)
     writeback: tuple[tuple[int, int, int], ...] | None
     locations: tuple[tuple[str, int], ...] = (("", 0),)
+    #: replay-totals memo keyed by device cache geometry; a warm re-replay
+    #: of a launch already reduced under the same (L1, L2) capacities is a
+    #: dict lookup (see repro.gpu.engine.replay_launch_batch).
+    _totals: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def cacheable(self) -> bool:
@@ -358,7 +387,7 @@ def _trace_to_arrays(trace: LaunchTrace) -> dict[str, np.ndarray]:
         np.concatenate([np.asarray(p) for p in parts]) if parts else empty.astype(dtype)
     )
     wb = np.asarray(trace.writeback or (), dtype=np.int64).reshape(-1, 3)
-    return {
+    out = {
         "meta": np.array(
             [TRACE_SCHEMA, trace.grid_dim, trace.block_dim, trace.warp_size],
             dtype=np.int64,
@@ -381,6 +410,19 @@ def _trace_to_arrays(trace: LaunchTrace) -> dict[str, np.ndarray]:
         "loc_lines": np.asarray([n for _, n in trace.locations], dtype=np.int64),
         "writeback": wb,
     }
+    # Base replay memos, when every block trace has one (i.e. the launch
+    # has been replayed at least once).  Persisting them lets a warm
+    # process skip the base reduction pass entirely — replay touches only
+    # the device-geometry walks.
+    memos = [t._memo.get("base") for t in trace.unique]
+    if memos and all(m is not None for m in memos):
+        out["base_counters"] = np.array(
+            [[m[0][f] for f in BASE_COUNTER_FIELDS] for m in memos], dtype=np.int64
+        ).reshape(-1)
+        out["stream_per_trace"] = np.array([m[1].size for m in memos], dtype=np.int64)
+        out["stream"] = cat([m[1] for m in memos], np.int64)
+        out["group_sectors"] = cat([m[2] for m in memos], np.int64)
+    return out
 
 
 def _trace_from_arrays(arrays: dict[str, np.ndarray]) -> LaunchTrace | None:
@@ -400,8 +442,18 @@ def _trace_from_arrays(arrays: dict[str, np.ndarray]) -> LaunchTrace | None:
             BlockTrace(o, n, a, c, p, x)
             for o, n, a, c, p, x in zip(ops, nlanes, aux, npay, payload, loc)
         ]
+        base_counters = arrays.get("base_counters")
+        if base_counters is not None and len(unique):
+            rows = np.asarray(base_counters, dtype=np.int64).reshape(
+                len(unique), len(BASE_COUNTER_FIELDS)
+            )
+            s_split = np.cumsum(arrays["stream_per_trace"])[:-1]
+            streams = np.split(arrays["stream"], s_split)
+            gsec = np.split(arrays["group_sectors"], g_split)
+            for t, row, s, g in zip(unique, rows.tolist(), streams, gsec):
+                t._memo["base"] = (dict(zip(BASE_COUNTER_FIELDS, row)), s, g)
         writeback = tuple(
-            (int(p), int(i), int(v)) for p, i, v in arrays["writeback"]
+            (int(p), int(i), int(v)) for p, i, v in arrays["writeback"].tolist()
         )
         locations = tuple(
             (str(f), int(n)) for f, n in zip(arrays["loc_files"], arrays["loc_lines"])
@@ -424,10 +476,13 @@ class TraceCache:
     """Two-layer launch-trace cache: in-memory LRU over the disk store.
 
     The memory layer holds live :class:`LaunchTrace` objects (including
-    their replay memos) under a byte budget; the disk layer piggybacks on
-    the replica cache's atomic, checksummed ``.npz`` store
-    (:mod:`repro.graph.io`), so traces survive across processes and CI
-    steps and honour ``REPRO_CACHE_DIR`` / ``REPRO_DISK_CACHE``.
+    their replay memos) under a byte budget; the disk layer is the shared
+    mmap-backed trace store (:mod:`repro.gpu.tracestore`, one flat file
+    per trace under ``<cache>/traces/``), so traces survive across
+    processes and CI steps, parallel/cluster/serve workers map the same
+    physical bytes zero-copy, and ``REPRO_CACHE_DIR`` / ``REPRO_DISK_CACHE``
+    are honoured.  Schema and integrity are validated once when a file is
+    mapped; hits served from memory never re-check them.
     """
 
     def __init__(self, max_bytes: int | None = None):
@@ -452,14 +507,19 @@ class TraceCache:
             self.stats.hits += 1
             get_tracer().event("trace_cache", level="debug", status="hit", key=key)
             return entry
-        arrays = io.load_cached_arrays(self._disk_key(key))
-        if arrays is not None:
-            trace = _trace_from_arrays(arrays)
-            if trace is not None:
-                self.stats.disk_hits += 1
-                self._insert(key, trace)
-                get_tracer().event("trace_cache", level="debug", status="disk_hit", key=key)
-                return trace
+        if io.disk_cache_enabled():
+            from .tracestore import get_trace_store
+
+            arrays = get_trace_store().load(self._disk_key(key))
+            if arrays is not None:
+                trace = _trace_from_arrays(arrays)
+                if trace is not None:
+                    self.stats.disk_hits += 1
+                    self._insert(key, trace)
+                    get_tracer().event(
+                        "trace_cache", level="debug", status="disk_hit", key=key
+                    )
+                    return trace
         self.stats.misses += 1
         get_tracer().event("trace_cache", level="debug", status="miss", key=key)
         return None
@@ -474,7 +534,9 @@ class TraceCache:
         )
         self._insert(key, trace)
         if io.disk_cache_enabled():
-            io.store_cached_arrays(self._disk_key(key), **_trace_to_arrays(trace))
+            from .tracestore import get_trace_store
+
+            get_trace_store().save(self._disk_key(key), _trace_to_arrays(trace))
 
     def _insert(self, key: str, trace: LaunchTrace) -> None:
         old = self._entries.pop(key, None)

@@ -70,6 +70,13 @@ class Warp:
                 self.pending.append(gen.send(None))
             except StopIteration:
                 self.pending.append(_DONE)
+        # Lanes not yet retired, ascending; _step drops retired lanes (only
+        # when the retired flag says one finished since the last scan) so
+        # divergent tails stop paying for finished lanes on every scan.
+        self.live = [
+            lane for lane, ev in enumerate(self.pending) if ev is not _DONE
+        ]
+        self._retired = False
 
     # -- public driver -----------------------------------------------------
 
@@ -121,6 +128,7 @@ class Warp:
             self.pending[lane] = self.gens[lane].send(value)
         except StopIteration:
             self.pending[lane] = _DONE
+            self._retired = True
 
     def _step(self) -> str | None:
         """Issue one warp instruction among the runnable lanes.
@@ -138,43 +146,83 @@ class Warp:
         progress, else ``None``.
         """
         pending = self.pending
-        # Partition runnable lanes by instruction site.
-        groups: dict[tuple, list[int]] = {}
-        for lane, ev in enumerate(pending):
-            if ev is _DONE or ev is _AT_SYNC or ev is _AT_WSYNC:
+        # Partition runnable lanes by instruction site.  The scan runs in
+        # ascending lane order over the still-live lanes and keeps the
+        # fully-converged case (every runnable lane at one site — by far
+        # the most common step) on a no-allocation fast path; only on the
+        # first site mismatch does it fall back to a dict of groups, whose
+        # insertion order (first lane reaching each site) is exactly what
+        # the original single-pass ``setdefault`` build produced.
+        if self._retired:
+            self.live = [lane for lane in self.live if pending[lane] is not _DONE]
+            self._retired = False
+        at_sync = _AT_SYNC
+        at_wsync = _AT_WSYNC
+        first_op = None
+        first_tag = None
+        first_lanes = None
+        groups = None
+        for lane in self.live:
+            ev = pending[lane]
+            if ev is at_sync or ev is at_wsync:
                 continue
-            if ev[0] == "y":
+            op = ev[0]
+            if op == "y":
                 pending[lane] = _AT_SYNC
                 continue
-            if ev[0] == "w":
+            if op == "w":
                 pending[lane] = _AT_WSYNC
                 continue
-            groups.setdefault((ev[0], ev[1]), []).append(lane)
-        if len(groups) > 1:
-            # Cross-lane ops (scan/broadcast) must wait for every live lane
-            # to arrive (shuffle semantics); prefer the other sites first.
-            candidates = {
-                k: v for k, v in groups.items() if k[0] != "sc" and k[0] != "bc"
-            }
-            if candidates:
-                winner = max(candidates, key=lambda k: len(candidates[k]))
+            tag = ev[1]
+            if groups is None:
+                if first_op is None:
+                    first_op = op
+                    first_tag = tag
+                    first_lanes = [lane]
+                elif op == first_op and tag == first_tag:
+                    first_lanes.append(lane)
+                else:
+                    groups = {(first_op, first_tag): first_lanes, (op, tag): [lane]}
             else:
-                winner = max(groups, key=lambda k: len(groups[k]))
-            groups = {winner: groups[winner]}
-        if not groups:
+                key = (op, tag)
+                site = groups.get(key)
+                if site is None:
+                    groups[key] = [lane]
+                else:
+                    site.append(lane)
+        if groups is None:
+            if first_op is not None:
+                self._issue(first_op, first_tag, first_lanes)
+                return None
             # No runnable lane: every live lane is parked at a barrier.
-            if any(p is _AT_WSYNC for p in pending):
+            live = self.live
+            wsync = [lane for lane in live if pending[lane] is _AT_WSYNC]
+            if wsync:
                 # __syncwarp: release immediately (warp-local barrier); this
                 # still costs one issue step like the hardware instruction.
-                self._release_wsync(
-                    [lane for lane, p in enumerate(pending) if p is _AT_WSYNC]
-                )
+                self._release_wsync(wsync)
                 return None
-            if any(p is _AT_SYNC for p in pending):
+            if live:
                 return "barrier"
             return "done"
-        ((op, tag), lanes), = groups.items()
-        self._issue(op, tag, lanes)
+        # Cross-lane ops (scan/broadcast) must wait for every live lane
+        # to arrive (shuffle semantics); prefer the other sites first.
+        # Ties break on first-inserted, matching max() over dict order.
+        win_key = win_lanes = None
+        win_len = 0
+        xl_key = xl_lanes = None
+        xl_len = 0
+        for key, lanes in groups.items():
+            n = len(lanes)
+            kop = key[0]
+            if kop != "sc" and kop != "bc":
+                if n > win_len:
+                    win_key, win_lanes, win_len = key, lanes, n
+            elif n > xl_len:
+                xl_key, xl_lanes, xl_len = key, lanes, n
+        if win_key is None:
+            win_key, win_lanes = xl_key, xl_lanes
+        self._issue(win_key[0], win_key[1], win_lanes)
         return None
 
     # -- engine-specific hooks (overridden by the recording subclass) -------

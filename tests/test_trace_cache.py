@@ -205,18 +205,21 @@ def test_memory_budget_evicts_lru():
 
 def test_schema_mismatch_ignored(tmp_path, isolated_cache):
     """A stale on-disk trace with the wrong schema is treated as a miss."""
-    _launch_sum()
-    arrays = _trace_to_arrays  # noqa: F841 - documented entry points exist
-    cache = reset_trace_cache()
-    # corrupt the schema tag of every stored bundle
-    from repro.graph import io
+    from repro.gpu.tracestore import get_trace_store
 
-    for f in (io.cache_dir()).glob("trace-*.npz"):
-        with np.load(f) as z:
-            d = dict(z)
-        d["meta"] = d["meta"].copy()
-        d["meta"][0] = 999_999
-        np.savez(f, **d)
+    _launch_sum()
+    cache = reset_trace_cache()
+    # rewrite every stored trace with a forged schema tag (valid digest)
+    store = get_trace_store()
+    files = list(store.root.glob("trace-*.trc"))
+    assert files
+    for f in files:
+        key = f.name[: -len(".trc")]
+        arrays = dict(store.load(key))
+        meta = arrays["meta"].copy()
+        meta[0] = 999_999
+        arrays["meta"] = meta
+        store.save(key, arrays)
     _launch_sum()
     assert cache.stats.disk_hits == 0
     assert cache.stats.stores == 1
