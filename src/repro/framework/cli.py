@@ -21,12 +21,17 @@ matrix commands through :mod:`repro.framework.resilience`.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
+import time
 
 from ..algorithms.base import algorithm_names, get_algorithm
 from ..gpu.device import get_device
 from ..graph.datasets import dataset_names, load_oriented
 from ..obs.attribution import LINE_FIELDS
+from ..obs.flightrec import install_flight_recorder, maybe_dump
+from ..obs.metrics import configure_metrics, metrics_enabled_from_env, to_prometheus
 from ..obs.tracer import LEVELS
 from ..obs.tracer import configure as configure_tracer
 from .compare import run_matrix
@@ -126,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cross-check small/medium cells against the exact CPU "
         "reference; mismatches are quarantined as status=invalid",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the process-wide metrics registry (also: REPRO_METRICS=1); "
+        "counters ride telemetry snapshots and flight-recorder dumps",
     )
     log = p.add_mutually_exclusive_group()
     log.add_argument(
@@ -269,6 +280,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="graceful-shutdown drain budget; jobs still queued "
                     "after it stay journaled for the next boot")
 
+    st = sub.add_parser(
+        "stats",
+        help="live service health: queue depth, shed level, admission "
+        "outcomes, trace-store hit rate, latency percentiles",
+    )
+    target = st.add_mutually_exclusive_group(required=True)
+    target.add_argument("--socket", default=None, metavar="PATH",
+                        help="query a server on a unix domain socket")
+    target.add_argument("--port", type=int, default=None, metavar="N",
+                        help="query a server on localhost TCP port N")
+    target.add_argument("--dir", dest="stats_dir", default=None, metavar="RUN_DIR",
+                        help="read the newest snapshot from a run directory "
+                        "(telemetry.jsonl or flightrec dumps) instead of a "
+                        "live server")
+    st.add_argument("--host", default="127.0.0.1", help="TCP host to query")
+    st.add_argument("--watch", action="store_true",
+                    help="refresh continuously (server push / dir re-read)")
+    st.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                    help="refresh cadence for --watch")
+    st.add_argument("--frames", type=int, default=0, metavar="N",
+                    help="with --watch: stop after N rendered frames "
+                    "(0 = until interrupted; used by tests and CI)")
+    st.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the raw stats frame as JSON")
+    st.add_argument("--prom", action="store_true",
+                    help="emit the metrics snapshot in Prometheus text format")
+
     return p
 
 
@@ -277,7 +315,21 @@ def main(argv: list[str] | None = None) -> int:
     level = args.log_level or ("error" if args.quiet else "debug" if args.verbose else None)
     # A resumed run logs into the original run's directory, so the journal
     # and its telemetry stay side by side across interruptions.
-    tracer = configure_tracer(level=level, run_id=args.run_id or getattr(args, "resume", None))
+    run_id = args.run_id or getattr(args, "resume", None)
+    tracer = configure_tracer(level=level, run_id=run_id)
+    if args.metrics or metrics_enabled_from_env():
+        configure_metrics(True)
+    # Crash flight recorder: a bounded ring of recent events plus the
+    # latest metrics snapshot, dumped under .cache/runs/<run_id>/flightrec/
+    # on unhandled exceptions, quarantine, worker death, and SIGTERM.
+    # Without telemetry configured the ring records warnings and errors
+    # only, keeping the disabled-tracing hot path near-free.
+    ring_level = level or ("warning" if tracer.min_level >= LEVELS["off"] else "info")
+    install_flight_recorder(
+        run_id or f"adhoc-{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}",
+        ring_level="warning" if ring_level == "off" else ring_level,
+        excepthook=False,
+    )
     # The JSONL sink batches (FLUSH_EVERY); without an explicit close the
     # final sub-batch — or, for a short-lived daemon, everything — is lost.
     try:
@@ -292,6 +344,19 @@ def main(argv: list[str] | None = None) -> int:
                 stats = pstats.Stats(profiler, stream=sys.stderr)
                 stats.strip_dirs().sort_stats("cumulative").print_stats(25)
         return _dispatch(args)
+    except BrokenPipeError:
+        # Output piped into a pager/`head` that exited early. Not a crash:
+        # point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise again, and leave quietly.
+        with contextlib.suppress(OSError):
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except BaseException as exc:
+        if not isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            maybe_dump(
+                "unhandled_exception", error=f"{type(exc).__name__}: {exc}"
+            )
+        raise
     finally:
         tracer.close()
 
@@ -374,6 +439,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "serve":
         return _serve(args)
+
+    if args.command == "stats":
+        return _stats(args)
 
     if args.command == "cluster":
         from .cluster import DEVICE_COUNTS, run_cluster, scaleout_curve
@@ -507,6 +575,9 @@ def _serve(args: argparse.Namespace) -> int:
         validate=args.validate,
         drain_timeout_s=args.drain_timeout,
     )
+    # Re-point the flight recorder at the server id so crash dumps land
+    # beside this daemon's journal-addressable state.
+    install_flight_recorder(args.run_id or server.server_id, excepthook=False)
     server.start()
     # Machine-readable ready line: CI and tests block on this before
     # connecting (the TCP port may have been ephemeral).
@@ -514,6 +585,7 @@ def _serve(args: argparse.Namespace) -> int:
           flush=True)
 
     def _on_signal(signum, frame):  # pragma: no cover - signal path
+        maybe_dump("sigterm" if signum == signal.SIGTERM else "sigint")
         server.shutdown()
 
     signal.signal(signal.SIGTERM, _on_signal)
@@ -521,6 +593,72 @@ def _serve(args: argparse.Namespace) -> int:
     server.wait()
     print(f"serve: stopped server_id={server.server_id}", flush=True)
     return 0
+
+
+def _emit_stats_frame(frame: dict, args: argparse.Namespace, *, clear: bool) -> None:
+    import json as _json
+
+    from ..obs.statsview import render_stats
+
+    if args.as_json:
+        print(_json.dumps(frame, default=str), flush=True)
+        return
+    if args.prom:
+        print(to_prometheus(frame.get("metrics") or {}), end="", flush=True)
+        return
+    if clear and sys.stdout.isatty():  # pragma: no cover - interactive only
+        print("\x1b[2J\x1b[H", end="")
+    print(render_stats(frame), flush=True)
+
+
+def _stats(args: argparse.Namespace) -> int:
+    """One-shot or live (``--watch``) service health view."""
+    from ..obs.statsview import latest_dir_snapshot
+
+    limit = args.frames if args.frames > 0 else None
+
+    if args.stats_dir is not None:
+        shown = 0
+        try:
+            while True:
+                frame = latest_dir_snapshot(args.stats_dir)
+                if frame is None:
+                    print(f"stats: no snapshot found under {args.stats_dir}",
+                          file=sys.stderr)
+                    return 1
+                _emit_stats_frame(frame, args, clear=shown > 0)
+                shown += 1
+                if not args.watch or (limit is not None and shown >= limit):
+                    return 0
+                time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+
+    from ..serve.client import ServeClient, ServeConnectionClosed, ServeTimeout
+
+    try:
+        with ServeClient(socket_path=args.socket, port=args.port,
+                         host=args.host, client_id="repro-stats") as client:
+            if not args.watch:
+                _emit_stats_frame(client.stats(), args, clear=False)
+                return 0
+            # Subscribe once; the server pushes untagged frames on its own
+            # cadence and they land in the client's unrouted stash.
+            _emit_stats_frame(client.stats_watch(args.interval), args, clear=False)
+            shown = 1
+            while limit is None or shown < limit:
+                time.sleep(min(args.interval, 0.25))
+                for frame in client.take_unrouted("stats"):
+                    _emit_stats_frame(frame, args, clear=True)
+                    shown += 1
+                    if limit is not None and shown >= limit:
+                        break
+            return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    except (OSError, ServeConnectionClosed, ServeTimeout) as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,6 +41,7 @@ from ..gpu.device import SIM_V100, DeviceSpec
 from ..gpu.engine import use_engine
 from ..graph.csr import CSRGraph
 from ..graph.datasets import load_oriented
+from ..obs.metrics import get_metrics
 from ..obs.tracer import get_tracer
 from .compare import ComparisonMatrix
 from .parallel import parallel_starmap
@@ -288,6 +289,17 @@ def run_cluster(
         status = "failed" if failed else "ok"
         triangles = sum(p.triangles for p in parts) + plan.correction
         cluster_time = max((p.device_time_s for p in parts), default=0.0)
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc("cluster_runs")
+            registry.inc("cluster_partitions", len(parts))
+            if failed:
+                registry.inc("cluster_failed_partitions", len(failed))
+            registry.observe("cluster_time_s", cluster_time)
+            registry.observe(
+                "cluster_exchange_bytes",
+                sum(p.exchange_bytes for p in parts),
+            )
         record = ClusterRecord(
             algorithm=alg_name,
             dataset=label,

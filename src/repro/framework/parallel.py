@@ -29,10 +29,13 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 
+import os
+
 from ..gpu.costmodel import CostModel
 from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
 from ..graph.datasets import warm_cache
-from ..obs.tracer import absorb_forwarded, get_tracer
+from ..obs import metrics as _metrics
+from ..obs.tracer import absorb_forwarded, forwarding_buffer, get_tracer
 from .resilience import (
     LEGACY_CRASH_ENV,
     _failed_record,
@@ -163,18 +166,48 @@ def run_cells(
     return [r for r in results if r is not None]
 
 
+def _starmap_call(fn, args: tuple) -> tuple:
+    """Worker body for :func:`parallel_starmap`: run one call with the
+    telemetry forwarding buffer open, shipping buffered events and the
+    metrics delta home alongside the result."""
+    with forwarding_buffer() as buf:
+        result = fn(*args)
+    return result, buf.events, buf.metrics_delta
+
+
+def _absorb_starmap(events, metrics_delta) -> None:
+    """Parent-side fold of one starmap worker's forwarded telemetry."""
+    if events:
+        tracer = get_tracer()
+        pid = os.getpid()
+        for event in events:
+            if event.get("pid") == pid:
+                continue
+            event.setdefault("forwarded", True)
+            tracer.emit_raw(event)
+    if metrics_delta:
+        _metrics.absorb_delta({_metrics.METRICS_FORWARD_KEY: metrics_delta})
+
+
 def parallel_starmap(fn, argtuples: Sequence[tuple], *, jobs: int | None = None) -> list:
     """Ordered ``[fn(*args) for args in argtuples]`` over worker processes.
 
-    Generic helper for the sweep module and other fan-outs: ``fn`` must be
-    a picklable module-level callable.  Unlike :func:`run_cells`, worker
-    exceptions propagate — callers that want per-item capture should wrap
-    ``fn`` themselves.
+    Generic helper for the sweep/cluster modules and other fan-outs: ``fn``
+    must be a picklable module-level callable.  Unlike :func:`run_cells`,
+    worker exceptions propagate — callers that want per-item capture should
+    wrap ``fn`` themselves.  Worker telemetry and metrics deltas ride home
+    on the result tuples and are folded into the parent's tracer/registry
+    as each future completes.
     """
     argtuples = list(argtuples)
     jobs = _resolve_jobs(jobs, len(argtuples))
     if jobs == 1 or len(argtuples) <= 1:
         return [fn(*args) for args in argtuples]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(fn, *args) for args in argtuples]
-        return [f.result() for f in futures]
+        futures = [pool.submit(_starmap_call, fn, args) for args in argtuples]
+        out = []
+        for f in futures:
+            result, events, metrics_delta = f.result()
+            _absorb_starmap(events, metrics_delta)
+            out.append(result)
+        return out

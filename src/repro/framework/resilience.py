@@ -50,6 +50,8 @@ from ..gpu.costmodel import CostModel
 from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
 from ..graph import io as gio
 from ..graph.datasets import get_spec, load_oriented, size_class, warm_cache
+from ..obs.flightrec import maybe_dump
+from ..obs.metrics import get_metrics
 from ..obs.tracer import absorb_forwarded, attach_forwarded, forwarding_buffer, get_tracer
 from .runner import DEFAULT_MAX_BLOCKS, RunRecord, run_one_safe
 
@@ -421,7 +423,7 @@ def execute_cell(
                     dataset=record.dataset,
                     error=record.error or "",
                 )
-    return attach_forwarded(record, buf.events)
+    return attach_forwarded(record, buf.events, metrics=buf.metrics_delta)
 
 
 # --------------------------------------------------------------------------
@@ -470,6 +472,12 @@ def validate_record(
             dataset=record.dataset,
             reported=int(record.triangles),
             expected=want,
+        )
+        get_metrics().inc("cells_quarantined")
+        maybe_dump(
+            "cell_quarantined",
+            error=f"{record.algorithm}/{record.dataset}: reported "
+                  f"{int(record.triangles)}, expected {want}",
         )
         return dataclasses.replace(
             record,

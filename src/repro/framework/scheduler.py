@@ -48,6 +48,8 @@ from dataclasses import dataclass, field
 
 from ..gpu.costmodel import CostModel
 from ..gpu.device import SIM_V100, TESLA_V100, DeviceSpec
+from ..obs.flightrec import maybe_dump
+from ..obs.metrics import get_metrics
 from ..obs.tracer import get_tracer
 from .resilience import (
     RetryPolicy,
@@ -250,6 +252,10 @@ class JobScheduler:
             heapq.heappush(self._heap, (-job.priority, next(self._seq), handle))
             self._cv.notify()
         self._emit("job_queued", job, {"priority": job.priority, "shed_level": job.shed_level})
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc("sched_jobs_submitted")
+            registry.gauge("sched_queue_depth", self.queue_depth())
         return handle
 
     def queue_depth(self) -> int:
@@ -335,6 +341,11 @@ class JobScheduler:
             "queue_wait_s": round(handle.started_at - handle.submitted_at, 6),
             "shed_level": job.shed_level,
         })
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc("sched_jobs_started")
+            registry.observe("sched_queue_wait_s", handle.started_at - handle.submitted_at)
+            registry.gauge("sched_queue_depth", self.queue_depth())
         return self._execute_supervised(handle)
 
     def _terminal_failed(self, job: CellJob, error: str) -> RunRecord:
@@ -400,8 +411,15 @@ class JobScheduler:
                 job=job.job_id, algorithm=_algorithm_name(job.algorithm),
                 dataset=job.dataset, deaths=deaths,
             )
+            get_metrics().inc("sched_worker_deaths")
+            maybe_dump(
+                "worker_death",
+                error=f"job {job.job_id} ({_algorithm_name(job.algorithm)}/"
+                      f"{job.dataset}) worker died ({deaths} deaths)",
+            )
             if deaths >= self.supervision.max_worker_deaths:
                 self._emit("job_circuit_open", job, {"worker_deaths": deaths})
+                get_metrics().inc("sched_circuit_opens")
                 return dataclasses.replace(
                     record,
                     error=(
@@ -461,6 +479,14 @@ class JobScheduler:
             "status": record.status,
             "duration_s": round(handle.finished_at - (handle.started_at or handle.finished_at), 6),
         })
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc(f"sched_jobs_{record.status}")
+            registry.observe(
+                "sched_job_duration_s",
+                handle.finished_at - (handle.started_at or handle.finished_at),
+            )
+            registry.gauge("sched_queue_depth", self.queue_depth())
         with self._cv:
             self._running -= 1
             self._completed += 1

@@ -48,6 +48,7 @@ from ..obs.attribution import (
     innermost_location,
     notify_launch,
 )
+from ..obs.metrics import get_metrics
 from ..obs.tracer import get_tracer
 from .intrinsics import ThreadCtx
 from .memory import DeviceArray, SectorCache
@@ -850,6 +851,16 @@ def reset_stage_times() -> None:
         _STAGE_TIMES[k] = 0.0
 
 
+def _stage_add(stage: str, dt: float) -> None:
+    """Accumulate one stage interval, mirrored into the metrics registry
+    (as ``engine_<stage>`` float counters) so live `repro stats` views and
+    worker-merged snapshots see per-stage time without a bench harness."""
+    _STAGE_TIMES[stage] += dt
+    registry = get_metrics()
+    if registry.enabled:
+        registry.inc("engine_" + stage, dt)
+
+
 def _launch_totals(trace: LaunchTrace, l1_cap: int, l2_cap: int) -> dict:
     """Device-geometry-dependent counter totals of one launch (memoised)."""
     key = (l1_cap, l2_cap)
@@ -918,14 +929,14 @@ def replay_launch_batch(traces, device) -> list[ProfileMetrics]:
     _base_reductions_many(blocks)
     _l1_walk_many(blocks, l1_cap)
     t1 = perf_counter()
-    _STAGE_TIMES["replay_s"] += t1 - t0
+    _stage_add("replay_s", t1 - t0)
     out = []
     for tr in traces:
         local = ProfileMetrics(warp_size=device.warp_size)
         if tr.unique:
             local.add_counters(_launch_totals(tr, l1_cap, l2_cap))
         out.append(local)
-    _STAGE_TIMES["counter_aggregation_s"] += perf_counter() - t1
+    _stage_add("counter_aggregation_s", perf_counter() - t1)
     return out
 
 
@@ -1013,7 +1024,7 @@ def simulate_vectorized(
     trace = None
     if key is not None:
         trace = get_trace_cache().get(key)
-    _STAGE_TIMES["trace_load_s"] += perf_counter() - t0
+    _stage_add("trace_load_s", perf_counter() - t0)
     if trace is None:
         t0 = perf_counter()
         with tracer.span(
@@ -1028,7 +1039,7 @@ def simulate_vectorized(
                 shared_words=shared_words,
                 blocks=blocks,
             )
-        _STAGE_TIMES["record_s"] += perf_counter() - t0
+        _stage_add("record_s", perf_counter() - t0)
         recorded = True
     else:
         apply_writeback(trace, args)
@@ -1044,7 +1055,7 @@ def simulate_vectorized(
             get_trace_cache().put(key, trace)
         elif trace_cache_enabled():
             get_trace_cache().stats.uncacheable += 1
-        _STAGE_TIMES["trace_load_s"] += perf_counter() - t0
+        _stage_add("trace_load_s", perf_counter() - t0)
     # Attribution and timeline capture fire on cache hits too: the trace
     # carries its own location table, so a warm hit costs one numpy pass.
     if active_collector() is not None:

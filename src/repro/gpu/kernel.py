@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.attribution import active_collector
+from ..obs.metrics import get_metrics
 from ..obs.tracer import get_tracer
 from .device import DeviceSpec
 from .engine import resolve_engine, simulate_vectorized
@@ -154,6 +155,13 @@ def launch_kernel(
         # The launch span's counter delta is exactly this launch's scaled
         # contribution — per-span deltas sum to cell totals by construction.
         span.set_counters(scaled.snapshot())
+        registry = get_metrics()
+        if registry.enabled:
+            # Conservation basis for verify invariant #9: launch counters in
+            # registry snapshots must sum to the RunRecord totals.
+            registry.inc("sim_launches")
+            registry.inc("sim_global_load_requests", scaled.global_load_requests)
+            registry.inc("sim_warps_launched", scaled.warps_launched)
         collector = active_collector()
         if collector is not None:
             collector.add_launch(kernel_name, line_raw or {}, factor, scaled.snapshot())

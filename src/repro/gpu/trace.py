@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph import io
+from ..obs.metrics import get_metrics
 from ..obs.tracer import get_tracer
 from .memory import DeviceArray
 
@@ -505,6 +506,7 @@ class TraceCache:
             del self._entries[key]  # refresh recency
             self._entries[key] = entry
             self.stats.hits += 1
+            get_metrics().inc("trace_cache_hits")
             get_tracer().event("trace_cache", level="debug", status="hit", key=key)
             return entry
         if io.disk_cache_enabled():
@@ -515,12 +517,14 @@ class TraceCache:
                 trace = _trace_from_arrays(arrays)
                 if trace is not None:
                     self.stats.disk_hits += 1
+                    get_metrics().inc("trace_cache_disk_hits")
                     self._insert(key, trace)
                     get_tracer().event(
                         "trace_cache", level="debug", status="disk_hit", key=key
                     )
                     return trace
         self.stats.misses += 1
+        get_metrics().inc("trace_cache_misses")
         get_tracer().event("trace_cache", level="debug", status="miss", key=key)
         return None
 
@@ -529,6 +533,7 @@ class TraceCache:
             self.stats.uncacheable += 1
             return
         self.stats.stores += 1
+        get_metrics().inc("trace_cache_stores")
         get_tracer().event(
             "trace_cache", level="debug", status="store", key=key, nbytes=trace.nbytes
         )
@@ -549,6 +554,7 @@ class TraceCache:
             victim_key = next(iter(self._entries))
             self._bytes -= self._entries.pop(victim_key).nbytes
             self.stats.evictions += 1
+            get_metrics().inc("trace_cache_evictions")
             get_tracer().event("trace_cache", level="debug", status="evict", key=victim_key)
 
     def clear(self) -> None:

@@ -39,6 +39,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+
 __all__ = ["TraceStore", "get_trace_store", "reset_trace_store"]
 
 MAGIC = b"RPRTRC01"
@@ -137,6 +139,11 @@ class TraceStore:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc("tracestore_saves")
+            registry.inc("tracestore_bytes_written", len(buf) + len(digest))
 
     # -- read ---------------------------------------------------------------
 
@@ -147,14 +154,18 @@ class TraceStore:
         map stays alive as long as any view references it.
         """
         path = self.path(key)
+        registry = get_metrics()
         try:
             with open(path, "rb") as f:
                 mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
         except FileNotFoundError:
+            registry.inc("tracestore_misses")
             return None
         except (OSError, ValueError):
             # Unreadable or empty: behave like corruption.
             self.drop(key)
+            registry.inc("tracestore_misses")
+            registry.inc("tracestore_heals")
             return None
         try:
             n = len(mm)
@@ -193,9 +204,14 @@ class TraceStore:
                     mm, dtype=np.dtype(dtype), count=count, offset=data_start + off
                 )
             arrays["writeback"] = arrays["writeback"].reshape(-1, 3)
+            if registry.enabled:
+                registry.inc("tracestore_hits")
+                registry.inc("tracestore_bytes_mapped", n)
             return arrays
         except (ValueError, KeyError, TypeError, json.JSONDecodeError):
             self.drop(key)
+            registry.inc("tracestore_misses")
+            registry.inc("tracestore_heals")
             return None
 
 

@@ -14,6 +14,26 @@ from .attribution import (
     collecting,
     innermost_location,
 )
+from .flightrec import (
+    FLIGHTREC_SCHEMA,
+    FlightRecorder,
+    RingSink,
+    get_flight_recorder,
+    install_flight_recorder,
+    maybe_dump,
+    uninstall_flight_recorder,
+)
+from .metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    configure_metrics,
+    get_metrics,
+    hist_quantile,
+    hist_summary,
+    merge_snapshots,
+    set_metrics,
+    to_prometheus,
+)
 from .tracer import (
     LEVELS,
     LOG_ENV,
@@ -33,10 +53,15 @@ from .tracer import (
 __all__ = [
     "BufferSink",
     "CounterSet",
+    "FLIGHTREC_SCHEMA",
+    "FlightRecorder",
     "JsonlSink",
     "LEVELS",
     "LOG_ENV",
     "LineProfileCollector",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "RingSink",
     "StderrSink",
     "TELEMETRY_SCHEMA",
     "Tracer",
@@ -45,9 +70,20 @@ __all__ = [
     "capturing_launches",
     "collecting",
     "configure",
+    "configure_metrics",
     "forwarding_buffer",
+    "get_flight_recorder",
+    "get_metrics",
     "get_tracer",
+    "hist_quantile",
+    "hist_summary",
     "innermost_location",
+    "install_flight_recorder",
+    "maybe_dump",
+    "merge_snapshots",
+    "set_metrics",
     "set_tracer",
     "telemetry_path",
+    "to_prometheus",
+    "uninstall_flight_recorder",
 ]

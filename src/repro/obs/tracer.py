@@ -30,12 +30,16 @@ construction.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import json
 import os
 import sys
 import threading
 import time
+import weakref
+
+from . import metrics as _metrics
 
 __all__ = [
     "BufferSink",
@@ -125,6 +129,10 @@ class JsonlSink:
         self._pid = os.getpid()
         self._lock = threading.Lock()
         self._unflushed = 0
+        # Registered for a best-effort flush at interpreter exit: short CLI
+        # runs emitting fewer than FLUSH_EVERY events would otherwise lose
+        # the buffered tail when the process exits without close().
+        _LIVE_JSONL_SINKS.add(self)
 
     def emit(self, event: dict) -> None:
         if os.getpid() != self._pid:
@@ -140,11 +148,31 @@ class JsonlSink:
                 self._fh.flush()
                 self._unflushed = 0
 
+    def flush(self) -> None:
+        with self._lock:
+            try:
+                self._fh.flush()
+            except (OSError, ValueError):  # pragma: no cover - closed/best effort
+                pass
+            self._unflushed = 0
+
     def close(self) -> None:
+        _LIVE_JSONL_SINKS.discard(self)
         try:
             self._fh.close()
         except OSError:  # pragma: no cover - best effort
             pass
+
+
+#: Open JSONL sinks, flushed at interpreter exit.  A WeakSet so registration
+#: never keeps an abandoned sink (and its file handle) alive.
+_LIVE_JSONL_SINKS: "weakref.WeakSet[JsonlSink]" = weakref.WeakSet()
+
+
+@atexit.register
+def _flush_jsonl_sinks_at_exit() -> None:  # pragma: no cover - exercised via subprocess test
+    for sink in list(_LIVE_JSONL_SINKS):
+        sink.flush()
 
 
 class StderrSink:
@@ -429,13 +457,21 @@ class forwarding_buffer:
     ships ``buf.events`` back over its result channel.  When telemetry is
     disabled (env level ``off`` and no active sinks) this is a no-op and
     ``events`` stays empty.
+
+    Also brackets the process-wide metrics registry: on exit,
+    ``metrics_delta`` holds a mergeable snapshot of everything the registry
+    observed while the buffer was open (None when metrics are disabled or
+    nothing changed), ready for :func:`attach_forwarded`.
     """
 
     def __init__(self):
         self.events: list[dict] = []
+        self.metrics_delta: dict | None = None
         self._sink: BufferSink | None = None
+        self._metrics_baseline: dict | None = None
 
     def __enter__(self) -> "forwarding_buffer":
+        self._metrics_baseline = _metrics.capture_baseline()
         tracer = get_tracer()
         level = env_level()
         if level == "off" and not tracer.sinks:
@@ -446,15 +482,18 @@ class forwarding_buffer:
         return self
 
     def __exit__(self, *exc) -> None:
+        self.metrics_delta = _metrics.delta_since(self._metrics_baseline)
         if self._sink is not None:
             get_tracer().remove_sink(self._sink)
             self._sink = None
 
 
-def attach_forwarded(record, events: list[dict]):
-    """Stash buffered worker events on a record's ``extra`` for the trip home."""
+def attach_forwarded(record, events: list[dict], metrics: dict | None = None):
+    """Stash buffered worker events (and a metrics delta) on ``record.extra``."""
     if events:
         record.extra[FORWARD_KEY] = events
+    if metrics:
+        record.extra[_metrics.METRICS_FORWARD_KEY] = metrics
     return record
 
 
@@ -470,6 +509,7 @@ def absorb_forwarded(record):
     extra = getattr(record, "extra", None)
     if not extra:
         return record
+    _metrics.absorb_delta(extra)
     events = extra.pop(FORWARD_KEY, None)
     if events:
         tracer = get_tracer()

@@ -24,10 +24,16 @@ import queue
 import socket
 import threading
 import time
+from collections import deque
 
 from . import protocol as proto
 
 __all__ = ["JobReceipt", "ServeClient", "ServeConnectionClosed", "ServeTimeout"]
+
+#: Bound on stashed unrouted frames (server pushes, unknown types).  A
+#: client that never drains the stash must not grow without limit; the
+#: newest frames win because pushes supersede older ones.
+UNROUTED_MAX = 256
 
 
 class ServeConnectionClosed(ConnectionError):
@@ -103,7 +109,10 @@ class ServeClient:
         #: job frames that raced ahead of their receipt registration (the
         #: server may stream events before submit() returns to the caller).
         self._orphans: dict[str, list[dict]] = {}
-        self._unrouted: list[dict] = []
+        #: bounded stash of frames matching no waiter/receipt — server
+        #: pushes (periodic stats) and unknown frame types land here
+        #: instead of being silently dropped; drain via take_unrouted().
+        self._unrouted: deque[dict] = deque(maxlen=UNROUTED_MAX)
         self.closed = False
         self._reader = threading.Thread(
             target=self._read_loop, name="serve-client-reader", daemon=True
@@ -182,13 +191,15 @@ class ServeClient:
                     and ftype in ("event", "result", "error")):
                 self._orphans.setdefault(job, []).append(frame)
                 return
+            if waiter is None and receipt is None:
+                # Server pushes (periodic stats) and unknown frame types:
+                # stash rather than drop, so callers can observe them.
+                self._unrouted.append(frame)
+                return
         if waiter is not None:
             waiter.put(frame)
             return
-        if receipt is not None:
-            self._deliver(receipt, frame)
-            return
-        self._unrouted.append(frame)
+        self._deliver(receipt, frame)
 
     @staticmethod
     def _deliver(receipt: JobReceipt, frame: dict) -> None:
@@ -274,6 +285,32 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self._request({"op": "stats"})
+
+    def stats_watch(self, interval_s: float = 2.0) -> dict:
+        """Subscribe to periodic stats pushes; returns the initial frame.
+
+        Subsequent frames arrive untagged with ``"push": True`` and are
+        retrieved via :meth:`take_unrouted`.
+        """
+        return self._request({"op": "stats", "watch": True,
+                              "interval_s": interval_s})
+
+    def take_unrouted(self, ftype: str | None = None) -> list[dict]:
+        """Drain (and return) stashed frames that matched no exchange.
+
+        ``ftype`` filters by frame ``type`` (e.g. ``"stats"``), leaving
+        non-matching frames stashed.
+        """
+        with self._lock:
+            if ftype is None:
+                frames = list(self._unrouted)
+                self._unrouted.clear()
+                return frames
+            frames = [f for f in self._unrouted if f.get("type") == ftype]
+            kept = [f for f in self._unrouted if f.get("type") != ftype]
+            self._unrouted.clear()
+            self._unrouted.extend(kept)
+            return frames
 
     def ping(self) -> dict:
         return self._request({"op": "ping"})

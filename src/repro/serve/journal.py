@@ -30,6 +30,7 @@ from pathlib import Path
 
 from ..framework.resilience import _json_default
 from ..graph import io as gio
+from ..obs.metrics import get_metrics
 
 __all__ = ["JobJournal", "serve_root"]
 
@@ -55,10 +56,15 @@ class JobJournal:
 
     def _append(self, entry: dict) -> None:
         line = json.dumps(entry, default=_json_default) + "\n"
+        t0 = time.perf_counter()
         with self._lock, self.path.open("a") as fh:
             fh.write(line)
             fh.flush()
             os.fsync(fh.fileno())
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc(f"journal_{entry.get('kind', 'entry')}_records")
+            registry.observe("serve_journal_fsync_s", time.perf_counter() - t0)
 
     def accepted(self, job_id: str, request: dict, *, client: str = "",
                  shed_level: int = 0, cost: float = 0.0) -> None:

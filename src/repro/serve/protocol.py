@@ -246,6 +246,17 @@ def parse_request(frame: dict) -> dict:
         raise RequestError("unknown_op", f"unknown op {op!r}; known: {OPS}")
     if op in ("status", "wait", "cancel"):
         _require_str(frame, "job")
+    if op == "stats":
+        watch = frame.get("watch", False)
+        if not isinstance(watch, bool):
+            raise RequestError("bad_request", "field 'watch' must be a boolean")
+        interval = frame.get("interval_s")
+        if interval is not None:
+            if isinstance(interval, bool) or not isinstance(interval, (int, float)) \
+                    or not interval > 0:
+                raise RequestError(
+                    "bad_request", "field 'interval_s' must be a positive number"
+                )
     return frame
 
 

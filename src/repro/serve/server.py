@@ -55,6 +55,7 @@ from ..framework.runner import DEFAULT_MAX_BLOCKS, RunRecord
 from ..framework.scheduler import CellJob, JobHandle, JobScheduler, SupervisionPolicy
 from ..graph.datasets import get_spec
 from ..obs.counters import CounterSet
+from ..obs.metrics import configure_metrics
 from ..obs.tracer import TELEMETRY_SCHEMA, get_tracer
 from .admission import AdmissionController, AdmissionPolicy, estimate_cost
 from .journal import JobJournal
@@ -191,6 +192,12 @@ class TriangleServer:
         self.terminal_ttl_s = terminal_ttl_s
         self.max_terminal_jobs = max_terminal_jobs
         self.counters = CounterSet()
+        # Wire-visible counters stay in the CounterSet (protocol back-compat);
+        # the process-wide registry additionally gets histograms/gauges and
+        # worker-merged engine counters, exposed via the "metrics" key of
+        # stats frames.  Enabling propagates REPRO_METRICS so scheduler
+        # worker processes ship their deltas home on the forwarding path.
+        self.metrics = configure_metrics(True)
         self.admission = AdmissionController(admission)
         self.journal = JobJournal(self.server_id)
         self._chaos = chaos_from_env()
@@ -209,6 +216,12 @@ class TriangleServer:
         self._shutting_down = False
         self._stopped = threading.Event()
         self._job_seq = 0
+        #: stats watchers: conn -> [interval_s, next_due (monotonic)].
+        self._watchers: dict[_Conn, list[float]] = {}
+        self._push_stop = threading.Event()
+        self._push_thread: threading.Thread | None = None
+        #: cadence of metrics_snapshot telemetry events (0 disables).
+        self.snapshot_interval_s = 10.0
         self.scheduler = JobScheduler(
             workers=workers,
             policy=retry_policy or RetryPolicy(cell_timeout_s=None),
@@ -239,6 +252,10 @@ class TriangleServer:
             target=self._accept_loop, name="serve-accept", daemon=True
         )
         self._accept_thread.start()
+        self._push_thread = threading.Thread(
+            target=self._push_loop, name="serve-stats-push", daemon=True
+        )
+        self._push_thread.start()
         get_tracer().info(
             "serve_listening", server_id=self.server_id,
             address=self.address, workers=self.workers,
@@ -264,6 +281,7 @@ class TriangleServer:
             if self._shutting_down:
                 return
             self._shutting_down = True
+        self._push_stop.set()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -280,6 +298,7 @@ class TriangleServer:
     def _forget_conn(self, conn: _Conn) -> None:
         with self._lock:
             self._conns.discard(conn)
+            self._watchers.pop(conn, None)
             for state in self._jobs.values():
                 if conn in state.stream_subs:
                     state.stream_subs.remove(conn)
@@ -428,6 +447,11 @@ class TriangleServer:
             conn.send({"type": "pong", "schema": proto.PROTOCOL_SCHEMA,
                        "server_id": self.server_id, "tag": _tag(request)})
         elif op == "stats":
+            if request.get("watch"):
+                interval = float(request.get("interval_s") or 2.0)
+                with self._lock:
+                    self._watchers[conn] = [interval, time.monotonic() + interval]
+                self.counters.inc("stats_watchers")
             conn.send({**self._stats_frame(), "tag": _tag(request)})
         elif op == "submit":
             self._handle_submit(conn, request)
@@ -494,6 +518,10 @@ class TriangleServer:
         if not decision.admitted:
             self.counters.inc(f"rejected_{decision.code}")
             self.counters.inc("rejected")
+            self.metrics.inc("serve_rejected")
+            self.metrics.inc(f"serve_rejected_{decision.code}")
+            if decision.retry_after_s:
+                self.metrics.observe("serve_retry_after_s", decision.retry_after_s)
             get_tracer().info(
                 "serve_reject", code=decision.code, algorithm=submit.algorithm,
                 dataset=submit.dataset, retry_after_s=decision.retry_after_s,
@@ -533,9 +561,13 @@ class TriangleServer:
             shed_level=decision.shed_level, cost=cost,
         )
         self.counters.inc("accepted")
+        self.metrics.inc("serve_accepted")
+        self.metrics.observe("serve_decision_ms", (time.perf_counter() - t0) * 1e3)
+        self.metrics.gauge("serve_shed_level", decision.shed_level)
         if decision.shed_level > 0:
             self.counters.inc("shed_jobs")
             self.counters.gauge("last_shed_level", decision.shed_level)
+            self.metrics.inc("serve_shed_jobs")
         if "conn_drop" in chaos:
             # Chaos: the wire dies right after acceptance was journaled.
             # The client sees EOF; the job still runs to a terminal state.
@@ -591,8 +623,10 @@ class TriangleServer:
         """Fan a scheduler lifecycle event out to the job's stream subscribers."""
         if name == "job_worker_restart":
             self.counters.inc("worker_restarts")
+            self.metrics.inc("serve_worker_restarts")
         elif name == "job_circuit_open":
             self.counters.inc("circuit_opens")
+            self.metrics.inc("serve_circuit_opens")
         event = {
             "schema": TELEMETRY_SCHEMA, "ts": time.time(), "event": "log",
             "name": name, "job": job.job_id, **payload,
@@ -634,8 +668,13 @@ class TriangleServer:
             )
             self._evict_terminals_locked()
         self.counters.inc(f"jobs_{record.status}")
+        self.metrics.inc(f"serve_jobs_{record.status}")
+        self.metrics.inc("serve_jobs_terminal")
+        if duration is not None:
+            self.metrics.observe("serve_job_latency_s", duration)
         if expired:
             self.counters.inc("deadline_expired")
+            self.metrics.inc("serve_deadline_expired")
         if duration is not None and record.status in ("ok", "degraded"):
             self.admission.observe_completion(duration)
         for conn, tag in result_subs:
@@ -775,13 +814,53 @@ class TriangleServer:
             "queued_cost": round(queued_cost, 1),
             "live_jobs": live_jobs,
             "service_time_s": round(self.admission.service_time_s(), 4),
+            "metrics": self.metrics.snapshot(),
             **self.counters.snapshot(),
         }
 
     def _update_gauges(self) -> None:
-        self.counters.gauge("queue_depth", self.scheduler.queue_depth())
+        depth = self.scheduler.queue_depth()
+        self.counters.gauge("queue_depth", depth)
+        self.metrics.gauge("serve_queue_depth", depth)
         with self._lock:
-            self.counters.gauge("queued_cost", round(self._queued_cost, 1))
+            queued_cost = round(self._queued_cost, 1)
+        self.counters.gauge("queued_cost", queued_cost)
+        self.metrics.gauge("serve_queued_cost", queued_cost)
+
+    # -- stats push ---------------------------------------------------------
+
+    def _push_loop(self) -> None:
+        """Deliver periodic untagged stats frames to registered watchers.
+
+        Push frames carry ``"push": True`` and no tag, so they route to the
+        client's unrouted-frame stash (:meth:`ServeClient.take_unrouted`)
+        instead of racing tagged request/response pairs.  Also emits a
+        ``metrics_snapshot`` telemetry event every ``snapshot_interval_s``
+        so a telemetry dir alone supports ``repro stats --dir``.
+        """
+        next_snapshot = time.monotonic() + self.snapshot_interval_s
+        while not self._push_stop.wait(0.25):
+            now = time.monotonic()
+            with self._lock:
+                due = [
+                    (conn, entry) for conn, entry in self._watchers.items()
+                    if now >= entry[1]
+                ]
+            if due:
+                frame = {**self._stats_frame(), "push": True}
+                for conn, entry in due:
+                    entry[1] = now + entry[0]
+                    if not conn.send(frame):
+                        self._forget_conn(conn)
+            if self.snapshot_interval_s and now >= next_snapshot:
+                next_snapshot = now + self.snapshot_interval_s
+                tracer = get_tracer()
+                if tracer.enabled("info"):
+                    tracer.event(
+                        "metrics_snapshot", level="info",
+                        server_id=self.server_id,
+                        metrics=self.metrics.snapshot(),
+                    )
 
 
 def _tag(frame: dict) -> str:

@@ -39,6 +39,7 @@ __all__ = [
     "check_isolated_padding",
     "check_duplicate_idempotence",
     "check_cluster_conservation",
+    "check_metrics_conservation",
     "check_parallel_determinism",
     "check_telemetry",
     "run_invariants",
@@ -400,6 +401,120 @@ def check_cluster_conservation(
     )
 
 
+def check_metrics_conservation(
+    *,
+    algorithms: Sequence[str] = ("Polak",),
+    datasets: Sequence[str] = ("As-Caida",),
+    blocks: int = GOLDEN_BLOCKS,
+    serve_jobs: int = 2,
+) -> InvariantResult:
+    """The metrics registry conserves — counters agree with ground truth.
+
+    Two cross-checks against independent sources of record:
+
+    * **serve** — admission counters equal the journal's fsync'd record
+      counts: ``serve_accepted == journal_accepted_records ==`` accepted
+      lines actually on disk in ``jobs.jsonl``, and ``serve_jobs_terminal
+      == journal_terminal_records ==`` terminal lines.  A registry that
+      drops or double-counts increments (or a journal write the counters
+      missed) breaks the equality.
+    * **matrix** — per-launch kernel counters conserve across a ``jobs=1``
+      run: ``sim_launches`` equals the sum of the records' reported
+      ``kernel_launches`` and ``sim_global_load_requests`` equals the sum
+      of the records' ``global_load_requests``.
+    """
+    import json
+    import math
+    import os
+
+    from ..obs.metrics import METRICS_ENV, MetricsRegistry, set_metrics
+    from ..obs.tracer import BufferSink, Tracer, set_tracer
+    from ..serve.client import ServeClient
+    from ..serve.server import TriangleServer
+
+    registry = MetricsRegistry(enabled=True)
+    old_registry = set_metrics(registry)
+    old_tracer = set_tracer(Tracer([BufferSink()]))
+    old_env = os.environ.get(METRICS_ENV)
+    try:
+        # A. serve: admission/terminal counters vs the journal file.
+        server = TriangleServer(port=0, workers=1)
+        server.start()
+        try:
+            with ServeClient(port=server.port, client_id="inv9") as client:
+                receipts = [
+                    client.submit(alg, ds, blocks=blocks)
+                    for alg in algorithms for ds in datasets
+                    for _ in range(serve_jobs)
+                ]
+                accepted = [r for r in receipts if r.accepted]
+                for r in accepted:
+                    r.result(timeout=120.0)
+            journal_path = server.journal.path
+        finally:
+            server.shutdown(drain=False)
+        kinds: dict[str, int] = {}
+        with journal_path.open(encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail
+                kinds[entry.get("kind", "?")] = kinds.get(entry.get("kind", "?"), 0) + 1
+        triples = [
+            ("serve_accepted", "journal_accepted_records", kinds.get("accepted", 0),
+             len(accepted)),
+            ("serve_jobs_terminal", "journal_terminal_records",
+             kinds.get("terminal", 0), len(accepted)),
+        ]
+        for counter, journal_counter, on_disk, expected in triples:
+            values = (registry.get(counter), registry.get(journal_counter),
+                      float(on_disk), float(expected))
+            if len(set(values)) != 1:
+                return InvariantResult(
+                    "metrics-conservation", False,
+                    f"{counter}={values[0]:g} {journal_counter}={values[1]:g} "
+                    f"journal-file={on_disk} receipts={expected} — must all agree",
+                )
+
+        # B. matrix: per-launch kernel counters vs the records' own totals.
+        registry.reset()
+        matrix = run_matrix(
+            algorithms, datasets, max_blocks_simulated=blocks, jobs=1
+        )
+        launches = sum(
+            int(r.extra.get("kernel_launches") or 0) for r in matrix.records
+        )
+        loads = sum(float(r.global_load_requests or 0.0) for r in matrix.records)
+        if registry.get("sim_launches") != float(launches):
+            return InvariantResult(
+                "metrics-conservation", False,
+                f"sim_launches={registry.get('sim_launches'):g} but records "
+                f"report {launches} kernel launches",
+            )
+        if not math.isclose(
+            registry.get("sim_global_load_requests"), loads,
+            rel_tol=1e-9, abs_tol=1e-6,
+        ):
+            return InvariantResult(
+                "metrics-conservation", False,
+                f"sim_global_load_requests={registry.get('sim_global_load_requests'):g}"
+                f" but records sum to {loads:g}",
+            )
+    finally:
+        set_tracer(old_tracer)
+        set_metrics(old_registry)
+        if old_env is None:
+            os.environ.pop(METRICS_ENV, None)
+        else:
+            os.environ[METRICS_ENV] = old_env
+    return InvariantResult(
+        "metrics-conservation", True,
+        f"serve counters == journal ({len(accepted)} jobs) and launch counters "
+        f"== record sums over {len(matrix.records)} cells",
+    )
+
+
 def run_invariants(
     *, seeds: int = 6, include_parallel: bool = True
 ) -> list[InvariantResult]:
@@ -414,6 +529,7 @@ def run_invariants(
         check_duplicate_idempotence(seed_list),
         check_telemetry(),
         check_cluster_conservation(),
+        check_metrics_conservation(),
     ]
     if include_parallel:
         results.append(check_parallel_determinism())

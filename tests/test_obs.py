@@ -115,6 +115,30 @@ class TestJsonlRoundTrip:
         assert log["msg"] == "watch out" and log["span"] == begin["span"]
         assert end["event"] == "span_end" and end["span"] == begin["span"]
 
+    def test_atexit_flushes_batched_tail(self, tmp_path):
+        """A process that emits fewer than FLUSH_EVERY events and exits
+        without close() must not lose them: the atexit hook flushes every
+        live sink's buffered tail."""
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "tail.jsonl"
+        code = textwrap.dedent(f"""
+            from repro.obs.tracer import JsonlSink, Tracer, set_tracer
+            sink = JsonlSink({str(path)!r})
+            tracer = Tracer([sink])
+            set_tracer(tracer)
+            for i in range(5):  # well under FLUSH_EVERY, all debug-level
+                tracer.debug("tick", i=i)
+            # no close(), no flush: exit with the tail still buffered
+        """)
+        env = dict(os.environ, PYTHONPATH="src")
+        subprocess.run([sys.executable, "-c", code], check=True, env=env,
+                       cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["i"] for e in lines] == list(range(5))
+
 
 class TestMetricsSnapshot:
     def test_snapshot_delta_pair(self):

@@ -80,7 +80,7 @@ class TestInvariantsCommand:
     def test_catalogue_passes(self, capsys):
         assert main(["invariants", "--seeds", "2", "--skip-parallel"]) == 0
         out = capsys.readouterr().out
-        assert "8/8 invariants hold" in out
+        assert "9/9 invariants hold" in out
 
     def test_failure_exits_nonzero(self, capsys, monkeypatch):
         fox = type(get_algorithm("Fox"))

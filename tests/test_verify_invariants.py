@@ -51,15 +51,23 @@ def test_telemetry_invariant_holds():
     assert result.passed, result.detail
 
 
+@pytest.mark.slow
+def test_metrics_conservation_holds():
+    from repro.verify.invariants import check_metrics_conservation
+
+    result = check_metrics_conservation(blocks=4)
+    assert result.passed, result.detail
+
+
 def test_run_invariants_catalogue(monkeypatch):
     results = run_invariants(seeds=3, include_parallel=False)
-    assert len(results) == 8
+    assert len(results) == 9
     assert all(r.passed for r in results), [str(r) for r in results if not r.passed]
     names = [r.name for r in results]
     assert names == [
         "metric-ranges", "sampling-consistency", "relabelling",
         "disjoint-union", "isolated-padding", "duplicate-idempotence",
-        "telemetry", "cluster-conservation",
+        "telemetry", "cluster-conservation", "metrics-conservation",
     ]
 
 
